@@ -1,0 +1,86 @@
+package h2onas_test
+
+import (
+	"testing"
+
+	"h2onas/internal/arch"
+	"h2onas/internal/experiments"
+	"h2onas/internal/hwsim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// delegates to the corresponding experiment runner (also reachable via
+// `cmd/experiments -run abl`) and reports the comparison via
+// b.ReportMetric.
+
+// BenchmarkAblationUnifiedVsTuNAS compares the paper's unified single-step
+// parallel algorithm against the TuNAS-style alternating two-step baseline
+// at equal data budget.
+func BenchmarkAblationUnifiedVsTuNAS(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblUnifiedVsTuNAS(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblationSandwich measures the effect of sandwich supernet
+// training: without it the one-shot proxy collapses onto the thinnest
+// candidates.
+func BenchmarkAblationSandwich(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblSandwich(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblationVocabSharing compares the two embedding-vocabulary
+// sharing granularities of Figure 3 ②.
+func BenchmarkAblationVocabSharing(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblVocabSharing(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblationFusion measures the simulator's compiler op-fusion
+// pass (§6.2.3).
+func BenchmarkAblationFusion(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblFusion()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblationDynamicFusedMBConv measures how often each block type
+// wins across channel depths — the Figure 4 crossover that justifies
+// searching the fused/unfused choice per layer instead of fixing it.
+func BenchmarkAblationDynamicFusedMBConv(b *testing.B) {
+	chip := hwsim.TPUv4i()
+	var fusedWins, unfusedWins float64
+	for i := 0; i < b.N; i++ {
+		fusedWins, unfusedWins = 0, 0
+		for _, c := range []int{16, 32, 48, 64, 96, 128, 160, 192} {
+			lat := func(fused bool) float64 {
+				spec := arch.MBConvSpec{Name: "x", Fused: fused, In: c, Out: c,
+					Kernel: 3, Stride: 1, Expansion: 6, Act: "relu",
+					H: 28, W: 28, Batch: 128, DType: 2}
+				g := &arch.Graph{Name: "x", Batch: 128, DTypeBytes: 2}
+				for _, op := range spec.Ops() {
+					g.Add(op)
+				}
+				return hwsim.Simulate(g, chip, hwsim.Options{}).StepTime
+			}
+			if lat(true) < lat(false) {
+				fusedWins++
+			} else {
+				unfusedWins++
+			}
+		}
+	}
+	b.ReportMetric(fusedWins, "fused_wins")
+	b.ReportMetric(unfusedWins, "unfused_wins")
+}

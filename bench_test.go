@@ -1,0 +1,184 @@
+package h2onas_test
+
+import (
+	"testing"
+
+	"h2onas/internal/experiments"
+)
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the artifact (at Quick scale for the search/training-based
+// ones) and reports its headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced numbers next to the timing. The paper values each
+// metric should be compared to are recorded in EXPERIMENTS.md.
+
+// reportMetrics publishes a report's metrics on the benchmark.
+func reportMetrics(b *testing.B, r *experiments.Report) {
+	b.Helper()
+	for k, v := range r.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkFig4Roofline regenerates Figure 4b/4c: the MBConv vs fused
+// MBConv roofline and latency crossover on TPUv4i.
+func BenchmarkFig4Roofline(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig4Roofline()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig5RewardAblation regenerates Figure 5: ReLU vs absolute
+// reward across the latency-target sweep (eight one-shot searches).
+func BenchmarkFig5RewardAblation(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig5RewardAblation(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable1PerfModel regenerates Table 1: two-phase performance
+// model pre-training and fine-tuning with NRMSE evaluation.
+func BenchmarkTable1PerfModel(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table1PerfModel(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable2Configs regenerates Table 2: the domain/model/hardware
+// characteristics table.
+func BenchmarkTable2Configs(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2Configs()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig6CoAtNetPareto regenerates Figure 6: the CoAtNet-H vs
+// CoAtNet accuracy/throughput Pareto fronts across dataset sizes.
+func BenchmarkFig6CoAtNetPareto(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6CoAtNetPareto()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable3Ablation regenerates Table 3: the CoAtNet-5 → CoAtNet-H5
+// architecture-change ladder.
+func BenchmarkTable3Ablation(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3Ablation()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig7HWAnalysis regenerates Figure 7: the hardware-counter
+// comparison of CoAtNet-H5 against CoAtNet-5.
+func BenchmarkFig7HWAnalysis(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7HWAnalysis()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig8DLRMStepTime regenerates Figure 8: baseline DLRM vs DLRM-H
+// step-time decomposition.
+func BenchmarkFig8DLRMStepTime(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8DLRMStepTime()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable4EfficientNetH regenerates Table 4: EfficientNet-H
+// geometric-mean speedups across training and serving chips.
+func BenchmarkTable4EfficientNetH(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4EfficientNetH()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig9Energy regenerates Figure 9: performance/power/energy of
+// the three model families.
+func BenchmarkFig9Energy(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9Energy()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig10Production regenerates Figure 10: zero-touch optimization
+// of the production fleet (eight searches plus launch-gated retraining).
+func BenchmarkFig10Production(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10Production(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable5SpaceSizes regenerates Table 5's search-space size
+// accounting.
+func BenchmarkTable5SpaceSizes(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table5SpaceSizes()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkExtPerfModelTransfer runs the §6.2.2 future-work study:
+// performance-model reuse across deployments.
+func BenchmarkExtPerfModelTransfer(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtPerfModelTransfer(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkExtSearchAlgorithms compares REINFORCE, random search and
+// regularized evolution at equal multi-trial budget.
+func BenchmarkExtSearchAlgorithms(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtSearchAlgorithms(experiments.Quick())
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkExtScalingStudy simulates data-parallel strong scaling of the
+// model zoo.
+func BenchmarkExtScalingStudy(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtScalingStudy()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkExtServingStudy measures serving throughput under P99 targets
+// with the queueing model.
+func BenchmarkExtServingStudy(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.ExtServingStudy()
+	}
+	reportMetrics(b, r)
+}

@@ -1,0 +1,83 @@
+// Command calibrate prints calibration diagnostics for the model zoo
+// against the paper's headline numbers. It is a development aid, not part
+// of the benchmark harness.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/hwsim"
+	"h2onas/internal/models"
+	"h2onas/internal/space"
+)
+
+func main() {
+	coatnet()
+	efficientnet()
+	dlrm()
+}
+
+func coatnet() {
+	c5, h5 := models.CoAtNet(5), models.CoAtNetH(5)
+	g5, gh := c5.Graph(), h5.Graph()
+	chip := hwsim.TPUv4()
+	r5 := hwsim.Simulate(g5, chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+	rh := hwsim.Simulate(gh, chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+	fmt.Printf("CoAtNet: speedup %.2f (paper 1.84)  FLOPs ratio %.3f (0.47)  HBM %.3f (0.65)  CMEM %.2f (5.3)  energy %.3f (0.54)\n",
+		r5.StepTime/rh.StepTime, gh.TotalFLOPs()/g5.TotalFLOPs(), rh.HBMBytes/r5.HBMBytes,
+		rh.CMEMBandwidthUsed()/r5.CMEMBandwidthUsed(), rh.Energy/r5.Energy)
+}
+
+func efficientnet() {
+	chip := hwsim.TPUv4()
+	serveChips := []hwsim.Chip{hwsim.TPUv4i(), hwsim.GPUV100()}
+	var geoTrain, geoB57 float64
+	var n, n57 float64
+	for i := 0; i <= 7; i++ {
+		x, h := models.EfficientNetX(i), models.EfficientNetH(i)
+		rx := hwsim.Simulate(x.Graph(), chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+		rh := hwsim.Simulate(h.Graph(), chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+		sp := rx.StepTime / rh.StepTime
+		geoTrain += math.Log(sp)
+		n++
+		if i >= 5 {
+			geoB57 += math.Log(sp)
+			n57++
+		}
+	}
+	fmt.Printf("ENet train speedup geomean %.3f (paper 1.05)  B5-7 %.3f (1.14)\n",
+		math.Exp(geoTrain/n), math.Exp(geoB57/n57))
+	for _, sc := range serveChips {
+		var geo, geo57, m, m57 float64
+		for i := 0; i <= 7; i++ {
+			x, h := models.EfficientNetX(i), models.EfficientNetH(i)
+			rx := hwsim.Simulate(x.ServingGraph(16), sc, hwsim.Options{Mode: hwsim.Inference})
+			rh := hwsim.Simulate(h.ServingGraph(16), sc, hwsim.Options{Mode: hwsim.Inference})
+			sp := rx.StepTime / rh.StepTime
+			geo += math.Log(sp)
+			m++
+			if i >= 5 {
+				geo57 += math.Log(sp)
+				m57++
+			}
+		}
+		fmt.Printf("ENet serve %s geomean %.3f (1.06)  B5-7 %.3f (1.16)\n", sc.Name, math.Exp(geo/m), math.Exp(geo57/m57))
+	}
+	b7 := models.EfficientNetX(7).Graph()
+	fmt.Printf("ENet-X B7: params %.1fM FLOPs/img %.1fG (paper 199M / 186G)\n", b7.Params/1e6, b7.TotalFLOPs()/128/1e9)
+}
+
+func dlrm() {
+	ds := space.NewDLRMSpace(models.ProductionShapeDLRMConfig())
+	chip := hwsim.TPUv4()
+	base := models.BaselineDLRM(ds)
+	opt := models.DLRMH(ds)
+	rb := hwsim.Simulate(ds.Graph(base), chip, hwsim.Options{Mode: hwsim.Training, Chips: ds.Config.Chips})
+	ro := hwsim.Simulate(ds.Graph(opt), chip, hwsim.Options{Mode: hwsim.Training, Chips: ds.Config.Chips})
+	fmt.Printf("DLRM base: step %.0fus emb %.0fus dense %.0fus | H: step %.0fus emb %.0fus dense %.0fus | speedup %.3f (1.10)\n",
+		rb.StepTime*1e6, rb.EmbedTime*1e6, rb.DenseTime*1e6,
+		ro.StepTime*1e6, ro.EmbedTime*1e6, ro.DenseTime*1e6, rb.StepTime/ro.StepTime)
+	fmt.Printf("DLRM size ratio %.3f  power ratio %.3f  energy ratio %.3f (0.85)\n",
+		ds.ServingBytes(opt)/ds.ServingBytes(base), ro.Power/rb.Power, ro.Energy/rb.Energy)
+}

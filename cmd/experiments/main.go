@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment at full scale
+//	experiments -run fig5,table1    # selected experiments
+//	experiments -run fig7 -scale quick
+//
+// Each experiment prints the rows/series the paper reports plus
+// machine-readable headline metrics and paper-vs-measured notes; see
+// EXPERIMENTS.md for the recorded comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"h2onas/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs (fig4, fig5, table1, table2, fig6, table3, fig7, fig8, table4, fig9, fig10, table5) or 'all'")
+	scaleName := flag.String("scale", "full", "computation budget: smoke, quick, or full")
+	csvDir := flag.String("csv", "", "also write each report's table as <dir>/<id>.csv")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-13s reproduces %s\n", r.ID, r.Artifact)
+		}
+		for _, r := range experiments.ExtensionRegistry() {
+			fmt.Printf("%-13s extension: %s\n", r.ID, r.Artifact)
+		}
+		for _, r := range experiments.AblationRegistry() {
+			fmt.Printf("%-13s ablation: %s\n", r.ID, r.Artifact)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.Smoke()
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want smoke, quick, or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var runners []experiments.Runner
+	switch *run {
+	case "all":
+		runners = experiments.Registry()
+	case "ext":
+		runners = experiments.ExtensionRegistry()
+	case "abl":
+		runners = experiments.AblationRegistry()
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			r, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		report := r.Run(scale)
+		fmt.Println(report.String())
+		fmt.Printf("(%s reproduced %s in %v at %s scale)\n\n", r.ID, r.Artifact, time.Since(start).Round(time.Millisecond), *scaleName)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, report); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, report *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, report.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteCSV(f)
+}

@@ -1,0 +1,245 @@
+// Command h2onas runs a hardware-optimized neural architecture search from
+// the command line.
+//
+// Usage:
+//
+//	h2onas -domain dlrm -steps 300 -shards 8 -reward relu -latency 0.85
+//	h2onas -domain cnn  -steps 200 -shards 8 -chip tpuv4
+//	h2onas -domain vit  -steps 200 -shards 8 -chip tpuv4
+//
+// The DLRM domain runs the full one-shot weight-sharing search against
+// synthetic production traffic; the cnn/vit domains run the analytic RL
+// search with the calibrated accuracy model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"h2onas"
+
+	"h2onas/internal/controller"
+	"h2onas/internal/core"
+	"h2onas/internal/datapipe"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/quality"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/vitnet"
+)
+
+func main() {
+	domain := flag.String("domain", "dlrm", "search domain: dlrm, cnn, vit, or nlp")
+	steps := flag.Int("steps", 300, "search steps")
+	shards := flag.Int("shards", 8, "parallel accelerator shards")
+	batch := flag.Int("batch", 64, "per-shard batch size (dlrm)")
+	warmup := flag.Int("warmup", 40, "weight warmup steps (dlrm)")
+	rewardKind := flag.String("reward", "relu", "reward function: relu or absolute")
+	latency := flag.Float64("latency", 1.0, "step-time target as a fraction of baseline")
+	chipName := flag.String("chip", "tpuv4", "target chip: tpuv4, tpuv4i, v100")
+	chipFile := flag.String("chip-file", "", "load a custom chip configuration (JSON, see hwsim.SaveChip) instead of -chip")
+	seed := flag.Uint64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print per-step progress")
+	flag.Parse()
+
+	chip, err := resolveChip(*chipName, *chipFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	kind := reward.ReLU
+	switch *rewardKind {
+	case "relu":
+	case "absolute", "abs":
+		kind = reward.Absolute
+	default:
+		fatalf("unknown reward %q (want relu or absolute)", *rewardKind)
+	}
+
+	switch *domain {
+	case "dlrm":
+		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose)
+	case "cnn", "vit":
+		runVision(*domain, chip, kind, *latency, *steps, *shards, *seed, *verbose)
+	case "nlp":
+		runNLP(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose)
+	default:
+		fatalf("unknown domain %q (want dlrm, cnn, vit, or nlp)", *domain)
+	}
+}
+
+// runNLP searches the pure transformer space with a live weight-sharing
+// super-network on synthetic sequence traffic.
+func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
+	steps, shards, batch, warmup int, seed uint64, verbose bool) {
+
+	vs := space.NewTransformerSpace(space.SmallViTConfig())
+	perf := func(a space.Assignment) []float64 {
+		g := vs.Graph(vs.Decode(a))
+		r := hwsim.Simulate(g, chip, hwsim.Options{Mode: hwsim.Training, Chips: 8})
+		return []float64{r.StepTime}
+	}
+	base := perf(vs.BaselineAssignment())
+	rw := reward.MustNew(kind,
+		reward.Objective{Name: "train_step_time", Target: base[0] * latency, Beta: -2})
+	s := &vitnet.Searcher{
+		VS:     vs,
+		Reward: rw,
+		Perf:   perf,
+		Stream: datapipe.NewSeqStream(datapipe.DefaultSeqConfig(), seed),
+	}
+	cfg := core.Config{
+		Shards: shards, Steps: steps, BatchSize: batch, WarmupSteps: warmup,
+		WeightLR:   0.003,
+		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
+		Seed:       seed,
+	}
+	if verbose {
+		cfg.Progress = progress
+	}
+	fmt.Printf("searching transformer space (log10 size %.1f) on %s, %d shards × %d steps\n",
+		vs.Space.Log10Size(), chip.Name, shards, steps)
+	res, err := s.Search(cfg)
+	if err != nil {
+		fatalf("search failed: %v", err)
+	}
+	fmt.Printf("\nfinal architecture: %s\n", vs.Space.Describe(res.Best))
+	fmt.Printf("quality %.4f | step time %.0fµs (target %.0fµs)\n",
+		res.FinalQuality, res.BestPerf[0]*1e6, base[0]*latency*1e6)
+}
+
+func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
+	steps, shards, batch, warmup int, seed uint64, verbose bool) {
+
+	model := space.SmallDLRMConfig()
+	traffic := h2onas.TrafficConfig{
+		NumTables: model.NumTables,
+		Vocab:     model.BaseVocab,
+		NumDense:  model.NumDense,
+	}
+	opts := h2onas.SearchConfig{
+		Shards: shards, Steps: steps, BatchSize: batch, WarmupSteps: warmup,
+		WeightLR:   0.003,
+		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
+		Seed:       seed,
+	}
+	if verbose {
+		opts.Progress = progress
+	}
+	fmt.Printf("searching DLRM space (log10 size %.1f) on %s, %d shards × %d steps, %s reward, latency target %.2fx baseline\n",
+		space.NewDLRMSpace(model).Space.Log10Size(), chip.Name, shards, steps, kind, latency)
+	res, err := h2onas.SearchDLRM(model, traffic, chip, kind, latency, opts)
+	if err != nil {
+		fatalf("search failed: %v", err)
+	}
+	ds := space.NewDLRMSpace(model)
+	fmt.Printf("\nfinal architecture: %s\n", ds.Space.Describe(res.Best))
+	fmt.Printf("quality %.4f | train step %.0fµs | serving %.2fMB | examples consumed %d\n",
+		res.FinalQuality, res.BestPerf[0]*1e6, res.BestPerf[1]/1e6, res.ExamplesSeen)
+}
+
+func runVision(domain string, chip h2onas.Chip, kind reward.Kind, latency float64,
+	steps, shards int, seed uint64, verbose bool) {
+
+	var sp *space.Space
+	var simulate func(space.Assignment) hwsim.Result
+	var accuracy func(space.Assignment) float64
+
+	if domain == "cnn" {
+		cs := space.NewCNNSpace(space.DefaultCNNConfig())
+		sp = cs.Space
+		simulate = func(a space.Assignment) hwsim.Result {
+			return hwsim.Simulate(cs.Graph(cs.Decode(a)), chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+		}
+		accuracy = func(a space.Assignment) float64 {
+			ar := cs.Decode(a)
+			g := cs.Graph(ar)
+			return quality.Accuracy(quality.Traits{
+				Params: g.Params, FLOPs: g.TotalFLOPs(),
+				Resolution: ar.Resolution, BaseResolution: 224,
+			}, quality.ImageNet1K)
+		}
+	} else {
+		vs := space.NewHybridViTSpace(space.DefaultViTConfig())
+		sp = vs.Space
+		simulate = func(a space.Assignment) hwsim.Result {
+			return hwsim.Simulate(vs.Graph(vs.Decode(a)), chip, hwsim.Options{Mode: hwsim.Training, Chips: 128})
+		}
+		accuracy = func(a space.Assignment) float64 {
+			ar := vs.Decode(a)
+			g := vs.Graph(ar)
+			act := "gelu"
+			if len(ar.TFMBlocks) > 0 {
+				act = ar.TFMBlocks[0].Act
+			}
+			return quality.Accuracy(quality.Traits{
+				Params: g.Params, FLOPs: g.TotalFLOPs(),
+				Resolution: ar.Resolution, BaseResolution: 224,
+				Activation: act,
+			}, quality.ImageNet21K)
+		}
+	}
+
+	base := make(space.Assignment, len(sp.Decisions)) // arbitrary reference
+	baseRes := simulate(base)
+	baseAcc := accuracy(base)
+	rw := reward.MustNew(kind,
+		reward.Objective{Name: "train_step_time", Target: baseRes.StepTime * latency, Beta: -3},
+	)
+	s := &core.AnalyticSearcher{
+		Space:  sp,
+		Reward: rw,
+		Quality: func(a space.Assignment) float64 {
+			return (accuracy(a) - baseAcc) * 2
+		},
+		Perf: func(a space.Assignment) []float64 {
+			return []float64{simulate(a).StepTime}
+		},
+	}
+	cfg := h2onas.SearchConfig{
+		Shards: shards, Steps: steps,
+		Controller: controller.Config{LearningRate: 0.1, BaselineMomentum: 0.9, EntropyWeight: 2e-3},
+		Seed:       seed,
+	}
+	if verbose {
+		cfg.Progress = progress
+	}
+	fmt.Printf("searching %s space (log10 size %.1f) on %s, %d shards × %d steps\n",
+		domain, sp.Log10Size(), chip.Name, shards, steps)
+	res, err := s.Search(cfg)
+	if err != nil {
+		fatalf("search failed: %v", err)
+	}
+	fmt.Printf("\nfinal architecture: %s\n", sp.Describe(res.Best))
+	fmt.Printf("accuracy %.2f%% | step time %.2fms (baseline %.2fms)\n",
+		accuracy(res.Best), res.BestPerf[0]*1e3, baseRes.StepTime*1e3)
+}
+
+func progress(info core.StepInfo) {
+	if info.Step%20 == 0 {
+		fmt.Printf("step %4d  reward %+.4f  quality %+.4f  entropy %.1f  confidence %.2f\n",
+			info.Step, info.MeanReward, info.MeanQ, info.Entropy, info.Confidence)
+	}
+}
+
+// resolveChip loads a custom chip file when given, else a built-in chip.
+func resolveChip(name, file string) (hwsim.Chip, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return hwsim.Chip{}, err
+		}
+		defer f.Close()
+		return hwsim.LoadChip(f)
+	}
+	chip, ok := hwsim.ChipByName(name)
+	if !ok {
+		return hwsim.Chip{}, fmt.Errorf("unknown chip %q", name)
+	}
+	return chip, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

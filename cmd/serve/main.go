@@ -1,0 +1,127 @@
+// Command serve analyses a model's serving behaviour under load: the
+// latency/throughput trade-off across batch sizes and query rates, and the
+// maximum sustainable QPS under a P99 latency target — the paper's serving
+// objective ("serving throughput under P99 target latency").
+//
+// Usage:
+//
+//	serve -model efficientnet-b5 -chip tpuv4i -p99 10ms
+//	serve -model dlrm -p99 2ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"h2onas/internal/arch"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/models"
+	"h2onas/internal/space"
+)
+
+func main() {
+	model := flag.String("model", "efficientnet-b5", "model to serve (see cmd/inspect -list)")
+	chipName := flag.String("chip", "tpuv4i", "chip: tpuv4, tpuv4i, v100")
+	p99 := flag.Duration("p99", 10*time.Millisecond, "P99 latency target")
+	flag.Parse()
+
+	chip, ok := hwsim.ChipByName(*chipName)
+	if !ok {
+		fatalf("unknown chip %q", *chipName)
+	}
+	build, err := builderFor(*model)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s on %s, P99 target %v\n\n", *model, chip.Name, *p99)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "batch\tservice (ms)\tidle P99 (ms)\tcapacity (QPS)\tmax QPS @ target")
+	for batch := 1; batch <= 64; batch *= 4 {
+		g := build(batch)
+		r := hwsim.Simulate(g, chip, hwsim.Options{Mode: hwsim.Inference})
+		capacity := float64(batch) / r.StepTime
+		idle := hwsim.ServeUnderLoad(build, chip, batch, capacity*0.01)
+		// Bisect the max rate at this batch.
+		lo, hi := 0.0, capacity*0.999
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			if hwsim.ServeUnderLoad(build, chip, batch, mid).P99Latency <= p99.Seconds() {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.0f\t%.0f\n",
+			batch, r.StepTime*1e3, idle.P99Latency*1e3, capacity, lo)
+	}
+	tw.Flush()
+
+	bestQPS, bestBatch := hwsim.MaxQPSUnderP99(build, chip, p99.Seconds())
+	if bestQPS == 0 {
+		fmt.Printf("\nno configuration meets a %v P99 on %s\n", *p99, chip.Name)
+		return
+	}
+	fmt.Printf("\nbest configuration: batch %d sustaining %.0f QPS within the %v P99 target\n",
+		bestBatch, bestQPS, *p99)
+}
+
+// builderFor resolves a model name to a batch-parametric graph builder.
+func builderFor(name string) (hwsim.GraphBuilder, error) {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(lower, "efficientnet-hb"):
+		var i int
+		if _, err := fmt.Sscanf(lower, "efficientnet-hb%d", &i); err != nil {
+			return nil, fmt.Errorf("bad variant %q", name)
+		}
+		spec := models.EfficientNetH(i)
+		return spec.ServingGraph, nil
+	case strings.HasPrefix(lower, "efficientnet-b"):
+		var i int
+		if _, err := fmt.Sscanf(lower, "efficientnet-b%d", &i); err != nil {
+			return nil, fmt.Errorf("bad variant %q", name)
+		}
+		spec := models.EfficientNetX(i)
+		return spec.ServingGraph, nil
+	case strings.HasPrefix(lower, "coatnet"):
+		var i int
+		h := strings.HasPrefix(lower, "coatnet-h")
+		pattern := "coatnet-%d"
+		if h {
+			pattern = "coatnet-h%d"
+		}
+		if _, err := fmt.Sscanf(lower, pattern, &i); err != nil {
+			return nil, fmt.Errorf("bad variant %q", name)
+		}
+		return func(batch int) *arch.Graph {
+			spec := models.CoAtNet(i)
+			if h {
+				spec = models.CoAtNetH(i)
+			}
+			spec.Batch = batch
+			return spec.Graph()
+		}, nil
+	case lower == "dlrm" || lower == "dlrm-h":
+		return func(batch int) *arch.Graph {
+			cfg := models.ProductionShapeDLRMConfig()
+			cfg.Batch = batch
+			cfg.Chips = 1 // serving is single-chip (Table 2)
+			ds := space.NewDLRMSpace(cfg)
+			if lower == "dlrm-h" {
+				return ds.Graph(models.DLRMH(ds))
+			}
+			return ds.Graph(models.BaselineDLRM(ds))
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

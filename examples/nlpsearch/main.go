@@ -1,0 +1,71 @@
+// nlpsearch searches the pure transformer space with a live weight-sharing
+// super-network on synthetic sequence traffic — the "our transformer
+// search space can be used in isolation to search for pure VIT or
+// transformer based NLP models" flow from the paper's Appendix A.
+//
+// The synthetic task mixes unary token effects (learnable by embeddings)
+// with a long-range pair interaction (needs attention), so searched
+// dimensions — hidden width, layers, FFN rank, activation, sequence
+// pooling — all trade quality against simulated TPU step time.
+//
+//	go run ./examples/nlpsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"h2onas/internal/controller"
+	"h2onas/internal/core"
+	"h2onas/internal/datapipe"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/vitnet"
+)
+
+func main() {
+	vs := space.NewTransformerSpace(space.SmallViTConfig())
+	fmt.Printf("transformer search space: %d decisions, O(10^%.1f) candidates\n",
+		len(vs.Space.Decisions), vs.Space.Log10Size())
+
+	chip := hwsim.TPUv4()
+	perf := func(a space.Assignment) []float64 {
+		g := vs.Graph(vs.Decode(a))
+		r := hwsim.Simulate(g, chip, hwsim.Options{Mode: hwsim.Training, Chips: 8})
+		return []float64{r.StepTime}
+	}
+	baseline := perf(vs.BaselineAssignment())
+	fmt.Printf("baseline step time: %.0fµs; demanding a model no slower\n", baseline[0]*1e6)
+
+	rw := reward.MustNew(reward.ReLU,
+		reward.Objective{Name: "train_step_time", Target: baseline[0], Beta: -2})
+
+	s := &vitnet.Searcher{
+		VS:     vs,
+		Reward: rw,
+		Perf:   perf,
+		Stream: datapipe.NewSeqStream(datapipe.DefaultSeqConfig(), 42),
+	}
+	res, err := s.Search(core.Config{
+		Shards: 4, Steps: 120, BatchSize: 32, WarmupSteps: 20,
+		WeightLR:   0.003,
+		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
+		Seed:       42,
+		Progress: func(info core.StepInfo) {
+			if info.Step%30 == 0 {
+				fmt.Printf("  step %3d: quality %+.3f, entropy %.1f\n", info.Step, info.MeanQ, info.Entropy)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blk := res.BestArch.TFMBlocks[0]
+	fmt.Println("\nfound transformer:")
+	fmt.Printf("  hidden %d, %d layers, activation %s, FFN rank fraction %.1f, seq pooling %v\n",
+		blk.Hidden, blk.Layers, blk.Act, blk.LowRank, blk.SeqPool)
+	fmt.Printf("  quality %.4f | step time %.0fµs (target %.0fµs) | traffic %d examples\n",
+		res.FinalQuality, res.BestPerf[0]*1e6, baseline[0]*1e6, res.ExamplesSeen)
+}

@@ -1,0 +1,3 @@
+module h2onas
+
+go 1.22

@@ -1,0 +1,60 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"h2onas/internal/space"
+)
+
+// Policies are checkpointable: long production searches save the policy
+// periodically and can resume or inspect it (the final architecture is a
+// pure function of the policy).
+
+// policyFile is the JSON wire format.
+type policyFile struct {
+	Version   int         `json:"version"`
+	Space     string      `json:"space"`
+	Decisions []string    `json:"decisions"`
+	Logits    [][]float64 `json:"logits"`
+}
+
+const persistVersion = 1
+
+// Save writes the policy's logits as JSON, tagged with the space's
+// decision names so a mismatched load fails loudly.
+func (p *Policy) Save(w io.Writer) error {
+	f := policyFile{Version: persistVersion, Space: p.Space.Name}
+	for i, d := range p.Space.Decisions {
+		f.Decisions = append(f.Decisions, d.Name)
+		f.Logits = append(f.Logits, append([]float64(nil), p.Logits[i]...))
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// LoadPolicy reads a policy written by Save, validating it against the
+// given space.
+func LoadPolicy(r io.Reader, s *space.Space) (*Policy, error) {
+	var f policyFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("controller: decoding saved policy: %w", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("controller: unsupported policy file version %d", f.Version)
+	}
+	if len(f.Decisions) != len(s.Decisions) {
+		return nil, fmt.Errorf("controller: saved policy has %d decisions, space has %d", len(f.Decisions), len(s.Decisions))
+	}
+	p := NewPolicy(s)
+	for i, d := range s.Decisions {
+		if f.Decisions[i] != d.Name {
+			return nil, fmt.Errorf("controller: decision %d is %q in the file but %q in the space", i, f.Decisions[i], d.Name)
+		}
+		if len(f.Logits[i]) != d.Arity() {
+			return nil, fmt.Errorf("controller: decision %q has %d logits, space arity is %d", d.Name, len(f.Logits[i]), d.Arity())
+		}
+		copy(p.Logits[i], f.Logits[i])
+	}
+	return p, nil
+}

@@ -1,0 +1,64 @@
+package controller
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	s := twoDecisionSpace()
+	c := New(s, DefaultConfig())
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 40; i++ {
+		a := c.Policy.Sample(rng)
+		r := 0.0
+		if a[0] == 2 {
+			r = 1
+		}
+		c.Update([]space.Assignment{a}, []float64{r})
+	}
+	var buf bytes.Buffer
+	if err := c.Policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicy(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range c.Policy.Logits {
+		for j := range c.Policy.Logits[d] {
+			if loaded.Logits[d][j] != c.Policy.Logits[d][j] {
+				t.Fatal("loaded logits differ")
+			}
+		}
+	}
+	a1, a2 := c.Policy.MostProbable(), loaded.MostProbable()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("loaded policy selects a different architecture")
+		}
+	}
+}
+
+func TestLoadPolicyValidatesSpace(t *testing.T) {
+	s := twoDecisionSpace()
+	var buf bytes.Buffer
+	if err := NewPolicy(s).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := space.NewSpace("other", space.NewDecision("x", 1, 2))
+	if _, err := LoadPolicy(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("mismatched space must be rejected")
+	}
+	if _, err := LoadPolicy(strings.NewReader("{bad"), s); err == nil {
+		t.Fatal("corrupt input must be rejected")
+	}
+	renamed := space.NewSpace("t2", space.NewDecision("zzz", 1, 2, 3), space.NewDecision("b", 10, 20))
+	if _, err := LoadPolicy(bytes.NewReader(buf.Bytes()), renamed); err == nil {
+		t.Fatal("renamed decisions must be rejected")
+	}
+}

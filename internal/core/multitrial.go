@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// The multi-trial baselines from the paper's taxonomy (Section 2.1):
+// random search and regularized evolution. Multi-trial strategies sample
+// and evaluate candidates in independent trials — straightforward but
+// cost-prohibitive when a trial means training a production model, which
+// is why H₂O-NAS is one-shot. Here each "trial" is an analytic evaluation
+// (calibrated quality model + simulator), the regime where multi-trial is
+// affordable and a useful comparison point.
+
+// AnalyticEvaluator scores candidates without training.
+type AnalyticEvaluator struct {
+	Quality QualityFunc
+	Perf    PerfFunc
+	Reward  *reward.Function
+}
+
+func (e *AnalyticEvaluator) validate() error {
+	if e.Quality == nil || e.Perf == nil || e.Reward == nil {
+		return fmt.Errorf("core: AnalyticEvaluator requires Quality, Perf and Reward")
+	}
+	return nil
+}
+
+// score evaluates one candidate.
+func (e *AnalyticEvaluator) score(a space.Assignment) Candidate {
+	q := e.Quality(a)
+	perf := e.Perf(a)
+	return Candidate{
+		Assignment: append(space.Assignment(nil), a...),
+		Quality:    q,
+		Perf:       perf,
+		Reward:     e.Reward.Eval(q, perf),
+	}
+}
+
+// RandomSearch evaluates trials uniform-random candidates and returns the
+// best by reward — the "can weight sharing outperform random search?"
+// baseline.
+func RandomSearch(sp *space.Space, eval *AnalyticEvaluator, trials int, seed uint64) (*AnalyticResult, error) {
+	if err := eval.validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: RandomSearch needs positive trials")
+	}
+	rng := tensor.NewRNG(seed)
+	res := &AnalyticResult{}
+	best := Candidate{Reward: math.Inf(-1)}
+	for i := 0; i < trials; i++ {
+		c := eval.score(randomAssignment(sp, rng))
+		c.Step = i
+		res.Candidates = append(res.Candidates, c)
+		if c.Reward > best.Reward {
+			best = c
+		}
+	}
+	res.Best = best.Assignment
+	res.BestQuality = best.Quality
+	res.BestPerf = best.Perf
+	return res, nil
+}
+
+// EvolutionConfig controls regularized evolution.
+type EvolutionConfig struct {
+	// Population is the number of live individuals (default 32).
+	Population int
+	// Sample is the tournament size per step (default 8).
+	Sample int
+	// Trials is the total number of evaluations including the initial
+	// population.
+	Trials int
+	// MutationRate is the per-decision mutation probability (default
+	// 1/#decisions, i.e. one mutation per child in expectation).
+	MutationRate float64
+	Seed         uint64
+}
+
+// EvolutionSearch runs regularized (aging) evolution [Real et al. 2019]:
+// each step tournaments a random sample of the population, mutates the
+// winner, evaluates the child, and retires the oldest individual. The
+// paper notes this family "cannot be applied to one-shot NAS, because
+// they require the rewards to be comparable across steps" — with analytic
+// rewards that requirement holds, making it a fair multi-trial baseline.
+func EvolutionSearch(sp *space.Space, eval *AnalyticEvaluator, cfg EvolutionConfig) (*AnalyticResult, error) {
+	if err := eval.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Population <= 0 {
+		cfg.Population = 32
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 8
+	}
+	if cfg.Sample > cfg.Population {
+		cfg.Sample = cfg.Population
+	}
+	if cfg.Trials < cfg.Population {
+		return nil, fmt.Errorf("core: evolution needs trials ≥ population (%d < %d)", cfg.Trials, cfg.Population)
+	}
+	if cfg.MutationRate <= 0 {
+		cfg.MutationRate = 1 / float64(len(sp.Decisions))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	res := &AnalyticResult{}
+	best := Candidate{Reward: math.Inf(-1)}
+
+	record := func(c Candidate, step int) {
+		c.Step = step
+		res.Candidates = append(res.Candidates, c)
+		if c.Reward > best.Reward {
+			best = c
+		}
+	}
+
+	// Seed population.
+	population := make([]Candidate, 0, cfg.Population)
+	for i := 0; i < cfg.Population; i++ {
+		c := eval.score(randomAssignment(sp, rng))
+		record(c, i)
+		population = append(population, c)
+	}
+	// Aging evolution: the population is a FIFO queue.
+	for t := cfg.Population; t < cfg.Trials; t++ {
+		parent := population[rng.Intn(len(population))]
+		for s := 1; s < cfg.Sample; s++ {
+			other := population[rng.Intn(len(population))]
+			if other.Reward > parent.Reward {
+				parent = other
+			}
+		}
+		child := mutate(sp, parent.Assignment, cfg.MutationRate, rng)
+		c := eval.score(child)
+		record(c, t)
+		population = append(population[1:], c)
+	}
+	res.Best = best.Assignment
+	res.BestQuality = best.Quality
+	res.BestPerf = best.Perf
+	return res, nil
+}
+
+// mutate flips each decision to a uniformly random other option with the
+// given probability, guaranteeing at least one mutation.
+func mutate(sp *space.Space, a space.Assignment, rate float64, rng *tensor.RNG) space.Assignment {
+	out := append(space.Assignment(nil), a...)
+	mutated := false
+	for i, d := range sp.Decisions {
+		if d.Arity() < 2 {
+			continue
+		}
+		if rng.Float64() < rate {
+			out[i] = otherOption(d.Arity(), out[i], rng)
+			mutated = true
+		}
+	}
+	if !mutated {
+		for {
+			i := rng.Intn(len(sp.Decisions))
+			if sp.Decisions[i].Arity() < 2 {
+				continue
+			}
+			out[i] = otherOption(sp.Decisions[i].Arity(), out[i], rng)
+			break
+		}
+	}
+	return out
+}
+
+func otherOption(arity, current int, rng *tensor.RNG) int {
+	v := rng.Intn(arity - 1)
+	if v >= current {
+		v++
+	}
+	return v
+}

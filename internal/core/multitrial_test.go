@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// quadraticEvaluator has a unique known optimum: quality peaks when every
+// decision picks its middle option; perf is constant (no penalty).
+func quadraticEvaluator(sp *space.Space) *AnalyticEvaluator {
+	return &AnalyticEvaluator{
+		Quality: func(a space.Assignment) float64 {
+			var q float64
+			for i, d := range sp.Decisions {
+				mid := float64(d.Arity()-1) / 2
+				diff := float64(a[i]) - mid
+				q -= diff * diff
+			}
+			return q
+		},
+		Perf:   func(space.Assignment) []float64 { return []float64{1} },
+		Reward: reward.MustNew(reward.ReLU, reward.Objective{Name: "t", Target: 10, Beta: -1}),
+	}
+}
+
+func multiTrialSpace() *space.Space {
+	return space.NewSpace("mt",
+		space.NewDecision("a", 0, 1, 2, 3, 4),
+		space.NewDecision("b", 0, 1, 2, 3, 4),
+		space.NewDecision("c", 0, 1, 2, 3, 4),
+		space.NewDecision("d", 0, 1, 2, 3, 4),
+	)
+}
+
+func TestRandomSearchFindsGoodCandidate(t *testing.T) {
+	sp := multiTrialSpace()
+	eval := quadraticEvaluator(sp)
+	res, err := RandomSearch(sp, eval, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 400 {
+		t.Fatalf("candidates %d", len(res.Candidates))
+	}
+	// 5^4 = 625 options; 400 uniform trials should land close to optimal
+	// (quality 0 at all-middle).
+	if res.BestQuality < -2 {
+		t.Fatalf("random search best quality %v too poor", res.BestQuality)
+	}
+}
+
+func TestEvolutionBeatsRandomAtEqualBudget(t *testing.T) {
+	sp := space.NewSpace("big",
+		space.NewDecision("a", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("b", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("c", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("d", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("e", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("f", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("g", 0, 1, 2, 3, 4, 5, 6),
+		space.NewDecision("h", 0, 1, 2, 3, 4, 5, 6),
+	)
+	eval := quadraticEvaluator(sp)
+	const trials = 300
+	var evoWins int
+	for seed := uint64(1); seed <= 5; seed++ {
+		rnd, err := RandomSearch(sp, eval, trials, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evo, err := EvolutionSearch(sp, eval, EvolutionConfig{Trials: trials, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evo.BestQuality > rnd.BestQuality {
+			evoWins++
+		}
+	}
+	// On a smooth landscape in a 7^8 space, evolution should win most
+	// seeds at equal budget.
+	if evoWins < 3 {
+		t.Fatalf("evolution won only %d/5 seeds against random search", evoWins)
+	}
+}
+
+func TestEvolutionPopulationIsFIFO(t *testing.T) {
+	sp := multiTrialSpace()
+	eval := quadraticEvaluator(sp)
+	res, err := EvolutionSearch(sp, eval, EvolutionConfig{Population: 8, Sample: 4, Trials: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 60 {
+		t.Fatalf("candidates %d, want 60 (population + children)", len(res.Candidates))
+	}
+	if err := sp.Validate(res.Best); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvolutionValidates(t *testing.T) {
+	sp := multiTrialSpace()
+	eval := quadraticEvaluator(sp)
+	if _, err := EvolutionSearch(sp, eval, EvolutionConfig{Population: 50, Trials: 10, Seed: 1}); err == nil {
+		t.Fatal("trials < population must error")
+	}
+	if _, err := EvolutionSearch(sp, &AnalyticEvaluator{}, EvolutionConfig{Trials: 100}); err == nil {
+		t.Fatal("incomplete evaluator must error")
+	}
+	if _, err := RandomSearch(sp, eval, 0, 1); err == nil {
+		t.Fatal("zero trials must error")
+	}
+}
+
+func TestMutateChangesAtLeastOneDecision(t *testing.T) {
+	sp := multiTrialSpace()
+	rng := tensor.NewRNG(99)
+	a := space.Assignment{2, 2, 2, 2}
+	for i := 0; i < 50; i++ {
+		child := mutate(sp, a, 0.01, rng) // tiny rate still forces ≥1 change
+		same := true
+		for j := range a {
+			if child[j] != a[j] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("mutation produced an identical child")
+		}
+		if err := sp.Validate(child); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The parent must not be modified.
+	for j, v := range a {
+		if v != 2 {
+			t.Fatalf("parent mutated at %d", j)
+		}
+	}
+}
+
+func TestRLBeatsRandomOnStructuredLandscape(t *testing.T) {
+	// The analytic RL searcher should also beat random search at equal
+	// evaluation budget on a smooth landscape — the taxonomy's claim that
+	// learned search outperforms undirected sampling.
+	sp := multiTrialSpace()
+	eval := quadraticEvaluator(sp)
+	rl := &AnalyticSearcher{Space: sp, Reward: eval.Reward, Quality: eval.Quality, Perf: eval.Perf}
+	res, err := rl.Search(Config{Shards: 4, Steps: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomSearch(sp, eval, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestQuality < rnd.BestQuality-0.5 {
+		t.Fatalf("RL (%v) should be competitive with random (%v) at equal budget",
+			res.BestQuality, rnd.BestQuality)
+	}
+	// And it must have essentially solved the landscape.
+	if res.BestQuality < -1.01 {
+		t.Fatalf("RL best quality %v, want near 0", res.BestQuality)
+	}
+}

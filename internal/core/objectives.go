@@ -1,0 +1,91 @@
+package core
+
+import (
+	"h2onas/internal/hwsim"
+	"h2onas/internal/perfmodel"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// DLRMObjectives produces the performance objectives of a DLRM search, in
+// the order the experiments use them: primary = training step time
+// (DLRM is training-cost dominated, Table 2), secondary = serving memory
+// bytes (the analytic model-size head of Section 6.2.1).
+//
+// When Model is non-nil, step time comes from the ML-driven performance
+// model at search-step latency; otherwise the simulator is invoked
+// directly (accurate but orders of magnitude slower — the trade-off the
+// performance model exists to break).
+type DLRMObjectives struct {
+	DS    *space.DLRMSpace
+	Chip  hwsim.Chip
+	Model *perfmodel.Model
+}
+
+// Perf implements PerfFunc.
+func (o *DLRMObjectives) Perf(a space.Assignment) []float64 {
+	ar := o.DS.Decode(a)
+	size := o.DS.ServingBytes(ar)
+	if o.Model != nil {
+		trainTime, _ := o.Model.Predict(o.DS.Space.Features(a))
+		return []float64{trainTime, size}
+	}
+	r := hwsim.Simulate(o.DS.Graph(ar), o.Chip, hwsim.Options{Mode: hwsim.Training, Chips: o.DS.Config.Chips})
+	return []float64{r.StepTime, size}
+}
+
+// BaselinePerf evaluates the baseline architecture with the simulator
+// (never the model): the reference point search targets are set against.
+func (o *DLRMObjectives) BaselinePerf() []float64 {
+	ar := o.DS.Decode(o.DS.BaselineAssignment())
+	r := hwsim.Simulate(o.DS.Graph(ar), o.Chip, hwsim.Options{Mode: hwsim.Training, Chips: o.DS.Config.Chips})
+	return []float64{r.StepTime, o.DS.ServingBytes(ar)}
+}
+
+// SimulatorSamples draws n random candidates from the space and labels
+// them with simulated training/serving performance — the pre-training
+// corpus of the two-phase performance model (Section 6.2.2).
+func SimulatorSamples(ds *space.DLRMSpace, chip hwsim.Chip, n int, seed uint64) []perfmodel.Sample {
+	rng := tensor.NewRNG(seed)
+	out := make([]perfmodel.Sample, n)
+	for i := range out {
+		a := randomAssignment(ds.Space, rng)
+		g := ds.Graph(ds.Decode(a))
+		train := hwsim.Simulate(g, chip, hwsim.Options{Mode: hwsim.Training, Chips: ds.Config.Chips})
+		serve := hwsim.Simulate(g, chip, hwsim.Options{Mode: hwsim.Inference})
+		out[i] = perfmodel.Sample{
+			Features:  ds.Space.Features(a),
+			TrainTime: train.StepTime,
+			ServeTime: serve.StepTime,
+		}
+	}
+	return out
+}
+
+// MeasuredSamples draws n random candidates and labels them with
+// *measured* performance (the simulator warped by the systematic silicon
+// gap) — the O(20) fine-tuning corpus.
+func MeasuredSamples(ds *space.DLRMSpace, chip hwsim.Chip, n int, seed uint64) []perfmodel.Sample {
+	rng := tensor.NewRNG(seed)
+	out := make([]perfmodel.Sample, n)
+	for i := range out {
+		a := randomAssignment(ds.Space, rng)
+		g := ds.Graph(ds.Decode(a))
+		train := hwsim.Measure(g, chip, hwsim.Options{Mode: hwsim.Training, Chips: ds.Config.Chips}, seed+uint64(i))
+		serve := hwsim.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, seed+uint64(i)+1<<32)
+		out[i] = perfmodel.Sample{
+			Features:  ds.Space.Features(a),
+			TrainTime: train.StepTime,
+			ServeTime: serve.StepTime,
+		}
+	}
+	return out
+}
+
+func randomAssignment(sp *space.Space, rng *tensor.RNG) space.Assignment {
+	a := make(space.Assignment, len(sp.Decisions))
+	for i, d := range sp.Decisions {
+		a[i] = rng.Intn(d.Arity())
+	}
+	return a
+}

@@ -1,0 +1,310 @@
+// Package core assembles H₂O-NAS's primary contribution: the massively
+// parallel *unified single-step* search algorithm of Section 4 (Figure 2,
+// right), which learns the policy π and the shared super-network weights W
+// in the same step from the same fresh batch of production traffic — plus
+// the TuNAS-style *alternating two-step* baseline (Figure 2, left) it is
+// compared against.
+//
+// Each simulated accelerator shard executes the three stages of a search
+// step:
+//
+//  1. sample a candidate αᵢ from π and run a forward pass with the shared
+//     weights W on a fresh batch to estimate quality Q(αᵢ);
+//  2. combine Q(αᵢ) with predicted performance T(αᵢ) into the reward
+//     R(αᵢ) and contribute to the cross-shard REINFORCE update of π;
+//  3. in parallel, contribute the candidate's gradients on the same batch
+//     to the cross-shard update of W.
+//
+// The pipeline's use-once batches make the single-step unification sound:
+// α is always learned on data W has never trained on.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"h2onas/internal/controller"
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/supernet"
+	"h2onas/internal/tensor"
+)
+
+// PerfFunc returns the performance-objective values of a candidate, in the
+// reward function's objective order (e.g. predicted train step time from
+// the performance model, analytic serving memory).
+type PerfFunc func(space.Assignment) []float64
+
+// Config controls a search run.
+type Config struct {
+	// Shards is the number of parallel accelerator shards. Each samples
+	// its own candidate per step.
+	Shards int
+	// Steps is the number of search steps.
+	Steps int
+	// BatchSize is the per-shard batch size.
+	BatchSize int
+	// WarmupSteps trains shared weights on random candidates before
+	// policy updates begin, so early rewards reflect partially trained
+	// weights rather than noise.
+	WarmupSteps int
+	// WeightLR is the Adam learning rate for shared weights.
+	WeightLR float64
+	// Controller configures the RL controller.
+	Controller controller.Config
+	// Seed drives all stochastic choices.
+	Seed uint64
+	// DisableSandwich turns off sandwich training (see Search). On by
+	// default because laptop-scale supernets otherwise develop a strong
+	// bias toward the thinnest candidates; the ablation bench measures
+	// its effect.
+	DisableSandwich bool
+	// Progress, when non-nil, receives per-step telemetry.
+	Progress func(StepInfo)
+}
+
+// DefaultConfig returns search hyperparameters suitable for the small DLRM
+// configuration.
+func DefaultConfig() Config {
+	return Config{
+		Shards:      8,
+		Steps:       300,
+		BatchSize:   64,
+		WarmupSteps: 40,
+		WeightLR:    0.003,
+		Controller:  controller.DefaultConfig(),
+		Seed:        1,
+	}
+}
+
+// StepInfo is per-step telemetry.
+type StepInfo struct {
+	Step       int
+	MeanReward float64
+	MeanQ      float64
+	Entropy    float64
+	Confidence float64
+}
+
+// Candidate is one evaluated architecture sample.
+type Candidate struct {
+	Step       int
+	Assignment space.Assignment
+	Quality    float64
+	Perf       []float64
+	Reward     float64
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Best is the final architecture: the most probable value of every
+	// decision in π.
+	Best space.Assignment
+	// BestArch is Best decoded.
+	BestArch space.DLRMArch
+	// BestPerf is Perf evaluated on Best.
+	BestPerf []float64
+	// FinalQuality is the shared-weight quality of Best on fresh data.
+	FinalQuality float64
+	// History is per-step telemetry.
+	History []StepInfo
+	// Candidates is every (α, Q, T, R) evaluated during the search — the
+	// raw material for the Figure 5 Pareto analyses.
+	Candidates []Candidate
+	// ExamplesSeen is the total number of traffic examples consumed.
+	ExamplesSeen int64
+}
+
+// Searcher couples a DLRM search space with its reward, performance
+// evaluation and traffic source.
+type Searcher struct {
+	DS     *space.DLRMSpace
+	Reward *reward.Function
+	Perf   PerfFunc
+	Stream *datapipe.Stream
+}
+
+// validate checks the searcher and config.
+func (s *Searcher) validate(cfg *Config) error {
+	if s.DS == nil || s.Reward == nil || s.Perf == nil || s.Stream == nil {
+		return fmt.Errorf("core: Searcher requires DS, Reward, Perf and Stream")
+	}
+	if cfg.Shards <= 0 || cfg.Steps <= 0 || cfg.BatchSize <= 0 {
+		return fmt.Errorf("core: non-positive shards/steps/batch in %+v", *cfg)
+	}
+	if cfg.WeightLR <= 0 {
+		cfg.WeightLR = DefaultConfig().WeightLR
+	}
+	return nil
+}
+
+// Search runs the unified single-step massively parallel algorithm.
+func (s *Searcher) Search(cfg Config) (*Result, error) {
+	if err := s.validate(&cfg); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	master := supernet.New(s.DS, rng.Split())
+	replicas := make([]*supernet.Supernet, cfg.Shards)
+	for i := range replicas {
+		replicas[i] = master.Replicate(rng.Split())
+	}
+	ctrl := controller.New(s.DS.Space, cfg.Controller)
+	opt := nn.NewAdam(cfg.WeightLR)
+	pipe := datapipe.NewPipeline(s.Stream, cfg.BatchSize, cfg.Shards*2)
+	defer pipe.Close()
+
+	res := &Result{}
+	assignments := make([]space.Assignment, cfg.Shards)
+	qualities := make([]float64, cfg.Shards)
+	batches := make([]*datapipe.Batch, cfg.Shards)
+
+	maxA := maxAssignment(s.DS.Space)
+	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
+		warmup := step < cfg.WarmupSteps
+		// Sampling and batch draw happen on the coordinator so runs are
+		// reproducible; the heavy forward/backward fans out per shard.
+		for i := 0; i < cfg.Shards; i++ {
+			sandwich := !cfg.DisableSandwich && i == 0 && cfg.Shards > 1
+			if warmup && !cfg.DisableSandwich && i%2 == 0 {
+				sandwich = true
+			}
+			if sandwich {
+				// Sandwich training: one shard (and half the warmup
+				// shards) always trains the maximal sub-network so every
+				// shared weight keeps receiving gradient. Without it the
+				// always-shared upper-left corner of each weight matrix
+				// is the best-trained region and the one-shot quality
+				// signal develops a strong bias toward the thinnest
+				// candidates.
+				assignments[i] = maxA
+			} else {
+				assignments[i] = ctrl.Policy.Sample(rng)
+			}
+			batches[i] = pipe.Next()
+		}
+
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				b := batches[i]
+				// Stage 1: fresh data is consumed by architecture
+				// learning first…
+				b.UseForArch()
+				loss, dout := replicas[i].Loss(assignments[i], b)
+				qualities[i] = 1 - loss/ln2
+				// Stage 3: …and only then by weight training, on the
+				// same batch and candidate.
+				b.UseForWeights()
+				replicas[i].Backward(dout)
+			}(i)
+		}
+		wg.Wait()
+
+		// Stage 2: cross-shard policy update from (Q, T) → R. The
+		// sandwich shard trains weights only; its fixed candidate would
+		// bias REINFORCE, so it is excluded from the update.
+		if !warmup {
+			first := 0
+			if !cfg.DisableSandwich && cfg.Shards > 1 {
+				first = 1
+			}
+			var policySamples []space.Assignment
+			var rewards []float64
+			for i := first; i < cfg.Shards; i++ {
+				perf := s.Perf(assignments[i])
+				rw := s.Reward.Eval(qualities[i], perf)
+				policySamples = append(policySamples, assignments[i])
+				rewards = append(rewards, rw)
+				res.Candidates = append(res.Candidates, Candidate{
+					Step:       step - cfg.WarmupSteps,
+					Assignment: append(space.Assignment(nil), assignments[i]...),
+					Quality:    qualities[i],
+					Perf:       perf,
+					Reward:     rw,
+				})
+			}
+			ctrl.Update(policySamples, rewards)
+		}
+
+		// Stage 3 (cross-shard): reduce replica gradients and step W.
+		supernet.ReduceGrads(master, replicas)
+		nn.ClipGradNorm(master.Params(), 10)
+		opt.Step(master.Params())
+		nn.ZeroGrads(master.Params())
+
+		if !warmup {
+			perStep := cfg.Shards
+			if !cfg.DisableSandwich && cfg.Shards > 1 {
+				perStep--
+			}
+			info := StepInfo{
+				Step:       step - cfg.WarmupSteps,
+				MeanReward: mean(res.Candidates[len(res.Candidates)-perStep:]),
+				MeanQ:      meanOf(qualities),
+				Entropy:    ctrl.Policy.Entropy(),
+				Confidence: ctrl.Policy.Confidence(),
+			}
+			res.History = append(res.History, info)
+			if cfg.Progress != nil {
+				cfg.Progress(info)
+			}
+		}
+	}
+
+	res.Best = ctrl.Policy.MostProbable()
+	res.BestArch = s.DS.Decode(res.Best)
+	res.BestPerf = s.Perf(res.Best)
+	// Final quality on a large fresh batch: forward-only, so the extra
+	// examples are cheap and cut evaluation noise.
+	final := s.Stream.NextBatch(cfg.BatchSize * 16)
+	final.UseForArch()
+	res.FinalQuality = master.Quality(res.Best, final)
+	res.ExamplesSeen = s.Stream.ExamplesServed()
+	return res, nil
+}
+
+const ln2 = 0.6931471805599453
+
+// maxAssignment selects the largest option of every decision (widest,
+// deepest, fullest-rank candidate).
+func maxAssignment(sp *space.Space) space.Assignment {
+	a := make(space.Assignment, len(sp.Decisions))
+	for i, d := range sp.Decisions {
+		best := 0
+		for j, v := range d.Values {
+			if v > d.Values[best] {
+				best = j
+			}
+			_ = v
+		}
+		a[i] = best
+	}
+	return a
+}
+
+func mean(cands []Candidate) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cands {
+		sum += c.Reward
+	}
+	return sum / float64(len(cands))
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

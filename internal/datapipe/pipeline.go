@@ -1,0 +1,82 @@
+package datapipe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pipeline is the bounded, purely in-memory buffer between the traffic
+// generator and the search shards. A producer goroutine fills the buffer;
+// Next blocks until a batch is available. Nothing touches disk, batches
+// are handed out exactly once, and Close drains everything — matching the
+// privacy constraint that production traffic only ever exists in volatile
+// memory.
+type Pipeline struct {
+	stream    *Stream
+	batchSize int
+
+	ch       chan *Batch
+	done     chan struct{}
+	closed   sync.Once
+	wg       sync.WaitGroup
+	consumed int64
+}
+
+// NewPipeline starts producing batches of batchSize into a buffer holding
+// up to depth batches.
+func NewPipeline(stream *Stream, batchSize, depth int) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipeline{
+		stream:    stream,
+		batchSize: batchSize,
+		ch:        make(chan *Batch, depth),
+		done:      make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.produce()
+	return p
+}
+
+func (p *Pipeline) produce() {
+	defer p.wg.Done()
+	for {
+		b := p.stream.NextBatch(p.batchSize)
+		select {
+		case p.ch <- b:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Next returns the next fresh batch, blocking until one is buffered.
+// It returns nil after Close.
+func (p *Pipeline) Next() *Batch {
+	select {
+	case b := <-p.ch:
+		atomic.AddInt64(&p.consumed, 1)
+		return b
+	case <-p.done:
+		// Drain any batch raced into the buffer before the close.
+		select {
+		case b := <-p.ch:
+			atomic.AddInt64(&p.consumed, 1)
+			return b
+		default:
+			return nil
+		}
+	}
+}
+
+// BatchesConsumed returns how many batches Next has handed out.
+func (p *Pipeline) BatchesConsumed() int64 { return atomic.LoadInt64(&p.consumed) }
+
+// Close stops the producer and releases buffered data.
+func (p *Pipeline) Close() {
+	p.closed.Do(func() {
+		close(p.done)
+	})
+	p.wg.Wait()
+}

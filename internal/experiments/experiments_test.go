@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fast experiments run at their natural scale; search/training-based ones
+// run at Smoke scale and assert structure rather than calibration (the
+// calibrated bands live in the benches and in internal/models tests).
+
+func TestFig4RooflineShape(t *testing.T) {
+	r := Fig4Roofline()
+	if r.ID != "fig4" || len(r.Rows) < 6 {
+		t.Fatalf("malformed report: %+v", r)
+	}
+	if r.Metrics["fmbc32_latency_ratio"] >= 1 {
+		t.Errorf("F-MBC(32) must be faster than MBC(32): ratio %v", r.Metrics["fmbc32_latency_ratio"])
+	}
+	if r.Metrics["fmbc128_latency_ratio"] <= 1 {
+		t.Errorf("F-MBC(128) must be slower than MBC(128): ratio %v", r.Metrics["fmbc128_latency_ratio"])
+	}
+	for _, key := range []string{"fmbc32_flops_ratio", "fmbc128_flops_ratio"} {
+		if r.Metrics[key] <= 1 {
+			t.Errorf("fused blocks must always achieve higher FLOPS: %s = %v", key, r.Metrics[key])
+		}
+	}
+}
+
+func TestFig5RewardAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-based experiment")
+	}
+	r := Fig5RewardAblation(Smoke())
+	if len(r.Rows) != 2*len(fig5Targets) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), 2*len(fig5Targets))
+	}
+	// Structural assertions only at smoke scale: metrics exist and the
+	// memory ratio favours (or at least does not clearly disfavour) ReLU.
+	for _, key := range []string{"relu_dominates_abs_frac", "steptime_improvement_best_pct", "memory_ratio"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("missing metric %s", key)
+		}
+	}
+	if r.Metrics["memory_ratio"] > 1.3 {
+		t.Errorf("ReLU models should not be much larger than absolute's: ratio %v", r.Metrics["memory_ratio"])
+	}
+}
+
+func TestTable1PerfModelShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based experiment")
+	}
+	r := Table1PerfModel(Smoke())
+	pre := r.Metrics["nrmse_pretrain_measured"]
+	post := r.Metrics["nrmse_finetuned_measured"]
+	if pre < 0.10 {
+		t.Errorf("pretrained model should miss the silicon gap: NRMSE %v", pre)
+	}
+	if post >= pre {
+		t.Errorf("fine-tuning must reduce NRMSE: %v → %v", pre, post)
+	}
+}
+
+func TestTable2ConfigsShape(t *testing.T) {
+	r := Table2Configs()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 domains", len(r.Rows))
+	}
+	if r.Metrics["coatnet_max_params_m"] < 500 {
+		t.Errorf("CoAtNet-5 params %vM too small", r.Metrics["coatnet_max_params_m"])
+	}
+}
+
+func TestFig6CoAtNetParetoShape(t *testing.T) {
+	r := Fig6CoAtNetPareto()
+	if r.Metrics["h5_throughput_ratio"] < 1.5 {
+		t.Errorf("C-H5 throughput ratio %v, want ≈1.84 (paper 1.54)", r.Metrics["h5_throughput_ratio"])
+	}
+	if d := r.Metrics["h5_accuracy_delta"]; d < -0.4 || d > 0.6 {
+		t.Errorf("C-H5 accuracy delta %v must be neutral", d)
+	}
+}
+
+func TestTable3AblationShape(t *testing.T) {
+	r := Table3Ablation()
+	checks := []struct {
+		key      string
+		lo, hi   float64
+		paperVal string
+	}{
+		{"deeperconv_acc_delta", 0.4, 0.8, "+0.6"},
+		{"resshrink_acc_delta", -1.7, -1.1, "−1.4"},
+		{"srelu_acc_delta", 0.6, 1.0, "+0.8"},
+		{"final_acc_delta", -0.3, 0.3, "≈0"},
+		{"final_throughput_ratio", 1.5, 2.3, "1.84"},
+	}
+	for _, c := range checks {
+		if v := r.Metrics[c.key]; v < c.lo || v > c.hi {
+			t.Errorf("%s = %v outside [%v, %v] (paper %s)", c.key, v, c.lo, c.hi, c.paperVal)
+		}
+	}
+}
+
+func TestFig7HWAnalysisShape(t *testing.T) {
+	r := Fig7HWAnalysis()
+	if v := r.Metrics["speedup"]; v < 1.5 || v > 2.3 {
+		t.Errorf("speedup %v, want ≈1.84", v)
+	}
+	if v := r.Metrics["flops_ratio"]; v < 0.4 || v > 0.6 {
+		t.Errorf("FLOPs ratio %v, want ≈0.47", v)
+	}
+	if v := r.Metrics["hbm_ratio"]; v >= 1 {
+		t.Errorf("HBM traffic must drop: %v", v)
+	}
+	if v := r.Metrics["cmembw_ratio"]; v < 2 {
+		t.Errorf("CMEM bandwidth must rise sharply (paper 5.3×): %v", v)
+	}
+}
+
+func TestFig8DLRMStepTimeShape(t *testing.T) {
+	r := Fig8DLRMStepTime()
+	if v := r.Metrics["speedup"]; v < 1.05 || v > 1.3 {
+		t.Errorf("DLRM-H speedup %v, want ≈1.10", v)
+	}
+	if v := r.Metrics["baseline_imbalance"]; v <= 1 {
+		t.Errorf("baseline must be MLP-dominated: DNN/embed %v", v)
+	}
+	if v := r.Metrics["optimized_balance"]; v < 0.75 || v > 1.25 {
+		t.Errorf("optimized model must be balanced: DNN/embed %v", v)
+	}
+}
+
+func TestTable4EfficientNetHShape(t *testing.T) {
+	r := Table4EfficientNetH()
+	if v := r.Metrics["train_family"]; v < 1.02 || v > 1.12 {
+		t.Errorf("family training speedup %v, want ≈1.05", v)
+	}
+	if v := r.Metrics["train_b57"]; v < 1.08 || v > 1.25 {
+		t.Errorf("B5–B7 training speedup %v, want ≈1.14", v)
+	}
+	if v := r.Metrics["serve_tpuv4i_family"]; v < 1.02 || v > 1.12 {
+		t.Errorf("TPUv4i serving speedup %v, want ≈1.06", v)
+	}
+}
+
+func TestFig9EnergyShape(t *testing.T) {
+	r := Fig9Energy()
+	for _, fam := range []string{"enet", "cnet", "dlrm"} {
+		if v := r.Metrics[fam+"_energy"]; v >= 1 {
+			t.Errorf("%s energy ratio %v: every family must save energy", fam, v)
+		}
+		if v := r.Metrics[fam+"_perf"]; v <= 1 {
+			t.Errorf("%s perf ratio %v: every family must be faster", fam, v)
+		}
+		// The counter-intuitive headline: faster models at no extra power.
+		if v := r.Metrics[fam+"_power"]; v > 1.05 {
+			t.Errorf("%s power ratio %v: faster models must not draw more power", fam, v)
+		}
+	}
+}
+
+func TestFig10ProductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-based experiment")
+	}
+	r := Fig10Production(Smoke())
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 fleet models", len(r.Rows))
+	}
+	if _, ok := r.Metrics["cv_perf_geomean"]; !ok {
+		t.Error("missing cv_perf_geomean")
+	}
+	// The launch gate guarantees DLRM quality is never clearly negative.
+	if v := r.Metrics["dlrm_quality_mean_pp"]; v < -0.35 {
+		t.Errorf("launch gate must keep DLRM quality ≈neutral or better: %v pp", v)
+	}
+}
+
+func TestTable5SpaceSizesShape(t *testing.T) {
+	r := Table5SpaceSizes()
+	if v := r.Metrics["cnn_log10"]; v < 37 || v > 41 {
+		t.Errorf("CNN space log10 %v, want ≈39", v)
+	}
+	if v := r.Metrics["dlrm_log10"]; v < 260 || v > 310 {
+		t.Errorf("DLRM space log10 %v, want ≈282", v)
+	}
+	if v := r.Metrics["tfm_log10"]; v < 8 || v > 9 {
+		t.Errorf("TFM space log10 %v, want ≈8.5", v)
+	}
+	if v := r.Metrics["hybrid_log10"]; v < 20 || v > 23 {
+		t.Errorf("hybrid space log10 %v, want ≈21", v)
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, r := range reg {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		got, err := Lookup(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Errorf("Lookup(%s) failed: %v", r.ID, err)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown experiment must not resolve")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := newReport("x", "test report", "a", "b")
+	r.AddRow("1", "2")
+	r.Metrics["m"] = 3.5
+	r.AddNote("note %d", 7)
+	s := r.String()
+	for _, want := range []string{"x: test report", "a", "1", "m=3.5", "note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalesOrdered(t *testing.T) {
+	smoke, quick, full := Smoke(), Quick(), Full()
+	if !(smoke.SearchSteps < quick.SearchSteps && quick.SearchSteps < full.SearchSteps) {
+		t.Error("scale search steps must be ordered smoke < quick < full")
+	}
+	if !(smoke.PretrainSamples < quick.PretrainSamples && quick.PretrainSamples < full.PretrainSamples) {
+		t.Error("scale pretrain samples must be ordered")
+	}
+}
+
+func TestAblationRegistryResolves(t *testing.T) {
+	for _, r := range AblationRegistry() {
+		got, err := Lookup(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Errorf("Lookup(%s): %v", r.ID, err)
+		}
+	}
+}
+
+func TestAblFusionShape(t *testing.T) {
+	r := AblFusion()
+	if v := r.Metrics["unfused_over_fused"]; v <= 1 {
+		t.Errorf("fusion must speed things up: ratio %v", v)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	r := newReport("x", "t", "a", "b")
+	r.AddRow("1", "with, comma")
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b") || !strings.Contains(out, `"with, comma"`) {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import "testing"
+
+func TestExtPerfModelTransferShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based experiment")
+	}
+	r := ExtPerfModelTransfer(Smoke())
+	zero := r.Metrics["nrmse_zero_shot"]
+	in := r.Metrics["nrmse_in_domain"]
+	tuned := r.Metrics["nrmse_transferred"]
+	if zero <= in {
+		t.Errorf("zero-shot transfer (%v) must degrade vs in-domain (%v)", zero, in)
+	}
+	if tuned >= zero {
+		t.Errorf("fine-tuning (%v) must recover from zero-shot (%v)", tuned, zero)
+	}
+}
+
+func TestExtSearchAlgorithmsShape(t *testing.T) {
+	r := ExtSearchAlgorithms(Smoke())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 algorithms", len(r.Rows))
+	}
+	for _, key := range []string{"reinforce_reward", "random_reward", "evolution_reward"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("missing metric %s", key)
+		}
+	}
+	// Evolution should never lose to random at equal budget on this
+	// smooth landscape (it starts from random's candidates).
+	if r.Metrics["evolution_reward"] < r.Metrics["random_reward"]-1e-9 {
+		t.Errorf("evolution (%v) below random (%v)", r.Metrics["evolution_reward"], r.Metrics["random_reward"])
+	}
+}
+
+func TestExtScalingStudyShape(t *testing.T) {
+	r := ExtScalingStudy()
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 2 models × 4 chip counts", len(r.Rows))
+	}
+	// Compute-bound CoAtNet should scale near-linearly in this range.
+	if eff := r.Metrics["coatnet5_eff_512"]; eff < 0.9 {
+		t.Errorf("CoAtNet-5 efficiency at 512 chips = %v, want near-linear", eff)
+	}
+	// The communication-bound DLRM must show losses at extreme scale.
+	if eff := r.Metrics["dlrm_eff_512"]; eff > 0.95 {
+		t.Errorf("DLRM efficiency at 512 chips = %v, should show strong-scaling losses", eff)
+	}
+}
+
+func TestExtServingStudyShape(t *testing.T) {
+	r := ExtServingStudy()
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 2 models × 3 targets × 2 variants", len(r.Rows))
+	}
+	// Wherever both are servable, the H variant must sustain at least the
+	// X variant's load.
+	for key, v := range r.Metrics {
+		if v < 1 {
+			t.Errorf("H variant must not serve less than X: %s = %v", key, v)
+		}
+	}
+}
+
+func TestExtDriftStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based experiment")
+	}
+	r := ExtDriftStudy(Smoke())
+	if r.Metrics["decay"] <= 0 {
+		t.Errorf("frozen model must decay under drift: %v", r.Metrics["decay"])
+	}
+	if r.Metrics["continuous_final"] <= r.Metrics["frozen_final"] {
+		t.Errorf("continuous training (%v) must beat frozen (%v) after drift",
+			r.Metrics["continuous_final"], r.Metrics["frozen_final"])
+	}
+}
+
+func TestExtensionRegistryResolves(t *testing.T) {
+	for _, r := range ExtensionRegistry() {
+		got, err := Lookup(r.ID)
+		if err != nil || got.ID != r.ID {
+			t.Errorf("Lookup(%s): %v", r.ID, err)
+		}
+	}
+}

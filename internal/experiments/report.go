@@ -1,0 +1,141 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section 6–7). Each runner regenerates the
+// corresponding result — the same rows or series the paper reports — on
+// top of this repository's substrates, and returns both a formatted table
+// and machine-readable headline metrics that the benchmark harness and
+// tests assert against. DESIGN.md's per-experiment index maps every
+// runner to its paper artifact.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier ("fig5", "table1", …).
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Header and Rows hold the human-readable table.
+	Header []string
+	Rows   [][]string
+	// Metrics holds machine-readable headline numbers keyed by name.
+	Metrics map[string]float64
+	// Notes records paper-vs-measured commentary and scale caveats.
+	Notes []string
+}
+
+// newReport constructs an empty report.
+func newReport(id, title string, header ...string) *Report {
+	return &Report{ID: id, Title: title, Header: header, Metrics: map[string]float64{}}
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a commentary line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteCSV writes the report's table as CSV (header row first), suitable
+// for plotting the figures the tables back.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(r.Header) > 0 {
+		if err := cw.Write(r.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	if len(r.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.4g", k, r.Metrics[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale sets the computational budget of the search- and training-based
+// experiments. Quick keeps tests and benches in seconds; Full is what
+// cmd/experiments defaults to.
+type Scale struct {
+	// SearchSteps / SearchShards / SearchBatch size the one-shot searches.
+	SearchSteps, SearchShards, SearchBatch int
+	// WarmupSteps precede policy updates.
+	WarmupSteps int
+	// PretrainSamples / PretrainHidden / PretrainEpochs size the
+	// performance-model pre-training phase.
+	PretrainSamples, PretrainEpochs int
+	PretrainHidden                  []int
+	// FineTuneSamples is the measured-sample budget (the paper's O(20)).
+	FineTuneSamples int
+	// Seed drives all stochastic choices.
+	Seed uint64
+}
+
+// Smoke returns the minimal scale used by unit tests: every experiment
+// exercises its full code path in a few seconds, asserting structure
+// rather than tight calibration bands.
+func Smoke() Scale {
+	return Scale{
+		SearchSteps: 20, SearchShards: 2, SearchBatch: 16, WarmupSteps: 4,
+		PretrainSamples: 1200, PretrainEpochs: 20, PretrainHidden: []int{48, 48},
+		FineTuneSamples: 20, Seed: 1,
+	}
+}
+
+// Quick returns the reduced scale used by tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		SearchSteps: 60, SearchShards: 4, SearchBatch: 32, WarmupSteps: 10,
+		PretrainSamples: 8000, PretrainEpochs: 80, PretrainHidden: []int{128, 128},
+		FineTuneSamples: 20, Seed: 1,
+	}
+}
+
+// Full returns the default scale of cmd/experiments: longer searches and
+// a 512×512 performance model as in Table 1.
+func Full() Scale {
+	return Scale{
+		SearchSteps: 400, SearchShards: 8, SearchBatch: 64, WarmupSteps: 50,
+		PretrainSamples: 20000, PretrainEpochs: 40, PretrainHidden: []int{512, 512},
+		FineTuneSamples: 20, Seed: 1,
+	}
+}

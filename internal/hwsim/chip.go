@@ -1,0 +1,132 @@
+// Package hwsim is the ML-accelerator performance simulator. It plays the
+// role of the paper's in-house simulator (Section 6.2.3): it walks an
+// arch.Graph, models the matrix units, vector units, HBM and on-chip CMEM
+// memory hierarchy, and the inter-chip interconnect, simulates compiler
+// op fusion, and sums per-op run time along the critical path. It also
+// provides the utilization-based power/energy model behind Figure 9, a
+// serving-throughput-under-P99 estimator, and a "measurement" mode that
+// applies the systematic silicon gap separating simulator predictions from
+// real hardware (the gap the performance model's fine-tuning phase closes,
+// Table 1).
+package hwsim
+
+// Chip describes one accelerator's hardware resources. Quantities are in
+// FLOPs/s, bytes, bytes/s, seconds, and watts.
+type Chip struct {
+	Name string
+
+	// Compute.
+	PeakMXUFLOPS float64 // matrix/tensor units (bf16)
+	PeakVPUFLOPS float64 // vector processing units
+
+	// Memory hierarchy.
+	HBMBandwidth  float64 // off-chip HBM bytes/s
+	HBMCapacity   float64 // bytes
+	CMEMCapacity  float64 // on-chip scratchpad bytes (0 when absent)
+	CMEMBandwidth float64 // bytes/s
+
+	// Interconnect per chip.
+	ICIBandwidth float64
+
+	// OpOverhead is the fixed per-op dispatch cost the compiler cannot
+	// eliminate (kernel launch, DMA programming).
+	OpOverhead float64
+
+	// Power model: idle floor plus per-subsystem dynamic power at full
+	// utilization.
+	IdlePower float64
+	MXUPower  float64
+	VPUPower  float64
+	HBMPower  float64
+	CMEMPower float64
+	ICIPower  float64
+
+	// SiliconGap is the systematic multiplicative gap between this
+	// simulator's predictions and "real hardware" measurements (compiler
+	// scheduling, DMA contention, and runtime effects the simulator does
+	// not model). Measure applies it; Simulate does not.
+	SiliconGap float64
+}
+
+// TPUv4 models one TPU v4 training chip (two cores' aggregate):
+// 275 TFLOPS bf16, 1.2 TB/s HBM, 128 MiB CMEM.
+func TPUv4() Chip {
+	return Chip{
+		Name:          "TPUv4",
+		PeakMXUFLOPS:  275e12,
+		PeakVPUFLOPS:  4.4e12,
+		HBMBandwidth:  1228e9,
+		HBMCapacity:   32 << 30,
+		CMEMCapacity:  128 << 20,
+		CMEMBandwidth: 11e12,
+		ICIBandwidth:  300e9,
+		OpOverhead:    1.0e-6,
+		IdlePower:     90,
+		MXUPower:      95,
+		VPUPower:      18,
+		HBMPower:      42,
+		CMEMPower:     9,
+		ICIPower:      12,
+		SiliconGap:    1.31,
+	}
+}
+
+// TPUv4i models the TPU v4i inference chip: 138 TFLOPS bf16, 614 GB/s HBM,
+// 128 MiB CMEM.
+func TPUv4i() Chip {
+	return Chip{
+		Name:          "TPUv4i",
+		PeakMXUFLOPS:  138e12,
+		PeakVPUFLOPS:  2.2e12,
+		HBMBandwidth:  614e9,
+		HBMCapacity:   8 << 30,
+		CMEMCapacity:  128 << 20,
+		CMEMBandwidth: 7e12,
+		ICIBandwidth:  100e9,
+		OpOverhead:    1.0e-6,
+		IdlePower:     55,
+		MXUPower:      52,
+		VPUPower:      10,
+		HBMPower:      24,
+		CMEMPower:     6,
+		ICIPower:      6,
+		SiliconGap:    1.24,
+	}
+}
+
+// GPUV100 models an NVIDIA V100: 125 TFLOPS tensor-core fp16, 900 GB/s
+// HBM2, a small L2 standing in for on-chip staging.
+func GPUV100() Chip {
+	return Chip{
+		Name:          "GPUv100",
+		PeakMXUFLOPS:  125e12,
+		PeakVPUFLOPS:  15.7e12,
+		HBMBandwidth:  900e9,
+		HBMCapacity:   16 << 30,
+		CMEMCapacity:  6 << 20,
+		CMEMBandwidth: 3e12,
+		ICIBandwidth:  150e9,  // NVLink
+		OpOverhead:    3.0e-6, // kernel launches cost more than TPU DMA
+		IdlePower:     70,
+		MXUPower:      130,
+		VPUPower:      45,
+		HBMPower:      48,
+		CMEMPower:     7,
+		ICIPower:      10,
+		SiliconGap:    1.18,
+	}
+}
+
+// ChipByName returns the built-in chip configuration with that name.
+// It returns false if the name is unknown.
+func ChipByName(name string) (Chip, bool) {
+	switch name {
+	case "TPUv4", "tpuv4":
+		return TPUv4(), true
+	case "TPUv4i", "tpuv4i":
+		return TPUv4i(), true
+	case "GPUv100", "gpuv100", "V100", "v100":
+		return GPUV100(), true
+	}
+	return Chip{}, false
+}

@@ -1,0 +1,86 @@
+package hwsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChipSaveLoadRoundTrip(t *testing.T) {
+	for _, c := range []Chip{TPUv4(), TPUv4i(), GPUV100()} {
+		var buf bytes.Buffer
+		if err := SaveChip(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadChip(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulations on the round-tripped chip must match exactly.
+		g := denseGraph(64, 1024, 1024)
+		a := Simulate(g, c, Options{Mode: Training})
+		b := Simulate(g, got, Options{Mode: Training})
+		if a.StepTime != b.StepTime || a.Power != b.Power {
+			t.Fatalf("%s: round-tripped chip simulates differently", c.Name)
+		}
+	}
+}
+
+func TestLoadChipHandAuthored(t *testing.T) {
+	// The datasheet-units format architects would write by hand.
+	src := `{
+		"version": 1,
+		"name": "HypotheticalTPU",
+		"peak_mxu_tflops": 900,
+		"peak_vpu_tflops": 12,
+		"hbm_gbps": 3200,
+		"hbm_capacity_gb": 64,
+		"cmem_mib": 256,
+		"cmem_gbps": 30000,
+		"ici_gbps": 800,
+		"op_overhead_us": 0.5,
+		"idle_w": 120, "mxu_w": 160, "vpu_w": 25,
+		"hbm_w": 60, "cmem_w": 12, "ici_w": 18,
+		"silicon_gap": 1.25
+	}`
+	c, err := LoadChip(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PeakMXUFLOPS != 900e12 {
+		t.Fatalf("MXU peak = %v", c.PeakMXUFLOPS)
+	}
+	if c.CMEMCapacity != 256<<20 {
+		t.Fatalf("CMEM = %v", c.CMEMCapacity)
+	}
+	// The hypothetical chip must outrun TPUv4 on a compute-bound graph.
+	g := denseGraph(256, 4096, 4096)
+	if Simulate(g, c, Options{}).StepTime >= Simulate(g, TPUv4(), Options{}).StepTime {
+		t.Fatal("a 900-TFLOPS chip must beat TPUv4 on compute-bound work")
+	}
+}
+
+func TestLoadChipValidates(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"version": 9, "name": "x"}`,
+		`{"version": 1, "name": ""}`,
+		`{"version": 1, "name": "x", "peak_mxu_tflops": 0}`,
+		`{"version": 1, "name": "x", "peak_mxu_tflops": 100, "peak_vpu_tflops": 1, "hbm_gbps": 0}`,
+		`{"version": 1, "name": "x", "peak_mxu_tflops": 100, "peak_vpu_tflops": 1,
+		  "hbm_gbps": 100, "hbm_capacity_gb": 8, "cmem_mib": 64, "cmem_gbps": 0}`,
+	}
+	for i, src := range cases {
+		if _, err := LoadChip(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d must be rejected", i)
+		}
+	}
+}
+
+func TestBuiltinChipsValidate(t *testing.T) {
+	for _, c := range []Chip{TPUv4(), TPUv4i(), GPUV100()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

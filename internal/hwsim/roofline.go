@@ -1,0 +1,64 @@
+package hwsim
+
+import "h2onas/internal/arch"
+
+// RooflinePoint is one model (or block) placed on a chip's roofline:
+// operational intensity against achieved compute rate, the analysis
+// behind Figure 4b.
+type RooflinePoint struct {
+	Name string
+	// OperationalIntensity is FLOPs per byte of memory traffic (HBM plus
+	// CMEM staging, so fully CMEM-resident kernels keep a finite,
+	// comparable intensity).
+	OperationalIntensity float64
+	// AchievedFLOPS is the simulated compute rate.
+	AchievedFLOPS float64
+	// Latency is the simulated execution time.
+	Latency float64
+	// TotalFLOPs is the graph's total compute load.
+	TotalFLOPs float64
+	// Bound reports which resource limits the point: "compute" or "memory".
+	Bound string
+}
+
+// Roofline simulates g on chip in inference mode and returns its roofline
+// placement.
+func Roofline(g *arch.Graph, chip Chip) RooflinePoint {
+	r := Simulate(g, chip, Options{Mode: Inference})
+	oi := 0.0
+	if bytes := r.HBMBytes + r.CMEMBytes; bytes > 0 {
+		oi = r.FLOPs / bytes
+	}
+	bound := "memory"
+	// Compute-bound when the op-level compute time dominates memory time.
+	if r.MXUTime+r.VPUTime >= r.MemTime {
+		bound = "compute"
+	}
+	return RooflinePoint{
+		Name:                 g.Name,
+		OperationalIntensity: oi,
+		AchievedFLOPS:        r.AchievedFLOPS(),
+		Latency:              r.StepTime,
+		TotalFLOPs:           r.FLOPs,
+		Bound:                bound,
+	}
+}
+
+// PeakRoofline returns the chip's theoretical roofline value at a given
+// operational intensity: min(peak MXU FLOPS, OI × HBM bandwidth).
+func PeakRoofline(chip Chip, oi float64) float64 {
+	bw := oi * chip.HBMBandwidth
+	if bw < chip.PeakMXUFLOPS {
+		return bw
+	}
+	return chip.PeakMXUFLOPS
+}
+
+// RidgePoint returns the operational intensity at which the chip turns
+// from memory- to compute-bound.
+func RidgePoint(chip Chip) float64 {
+	if chip.HBMBandwidth == 0 {
+		return 0
+	}
+	return chip.PeakMXUFLOPS / chip.HBMBandwidth
+}

@@ -1,0 +1,54 @@
+package hwsim
+
+import "h2onas/internal/arch"
+
+// GraphBuilder constructs the model graph at a given per-chip batch size.
+// Serving-throughput search re-invokes it to find the largest batch whose
+// tail latency meets the target.
+type GraphBuilder func(batch int) *arch.Graph
+
+// p99Factor inflates mean batch latency to the 99th percentile: queueing,
+// co-tenancy and input skew widen the tail as the chip approaches
+// saturation.
+const p99Factor = 1.25
+
+// ServingResult is a serving-throughput estimate under a latency target.
+type ServingResult struct {
+	// Throughput is queries/second/chip at the chosen batch.
+	Throughput float64
+	// Batch is the largest batch meeting the P99 target.
+	Batch int
+	// P99Latency is the estimated tail latency at that batch.
+	P99Latency float64
+	// MeanLatency is the simulated batch latency.
+	MeanLatency float64
+}
+
+// ServingThroughput finds the largest power-of-two batch whose estimated
+// P99 latency is within targetP99 seconds and returns the resulting
+// throughput. If even batch 1 misses the target, it returns the batch-1
+// point with its (violating) latency so callers can penalize it.
+func ServingThroughput(build GraphBuilder, chip Chip, targetP99 float64) ServingResult {
+	best := ServingResult{Batch: 1}
+	for batch := 1; batch <= 4096; batch *= 2 {
+		g := build(batch)
+		r := Simulate(g, chip, Options{Mode: Inference})
+		p99 := r.StepTime * p99Factor
+		sr := ServingResult{
+			Throughput:  float64(batch) / r.StepTime,
+			Batch:       batch,
+			P99Latency:  p99,
+			MeanLatency: r.StepTime,
+		}
+		if batch == 1 {
+			best = sr
+		}
+		if p99 <= targetP99 && sr.Throughput >= best.Throughput {
+			best = sr
+		}
+		if p99 > targetP99 && batch > 1 {
+			break
+		}
+	}
+	return best
+}

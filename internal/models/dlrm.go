@@ -1,0 +1,70 @@
+package models
+
+import (
+	"h2onas/internal/space"
+)
+
+// ProductionShapeDLRMConfig is the Figure 8 baseline: a production-shaped
+// DLRM whose top MLP compute dominates the embedding phase — the load
+// imbalance the paper calls out ("the MLP compute time is much longer
+// than the embedding computing time").
+func ProductionShapeDLRMConfig() space.DLRMConfig {
+	cfg := space.DefaultDLRMConfig()
+	cfg.Name = "dlrm-prodshape"
+	cfg.TopWidths = []int{1024, 512, 256, 128}
+	return cfg
+}
+
+// BaselineDLRM returns the baseline architecture on the production-shaped
+// config.
+func BaselineDLRM(ds *space.DLRMSpace) space.DLRMArch {
+	return ds.Decode(ds.BaselineAssignment())
+}
+
+// DLRMH returns the H₂O-NAS-optimized DLRM of Section 7.1.2 / Figure 8.
+// The search rebalanced embedding and MLP processing end to end:
+//
+//   - top-MLP layers gain width but adopt low-rank factorization — more
+//     parameters ("increase the total MLP layer size") yet ~half the
+//     compute, pulling the dominant DNN time down toward the embedding
+//     time;
+//   - embedding tables trade vocabulary for width — smaller tables
+//     ("reduce the total embedding layer size") with more expressive
+//     vectors, keeping memorization and lifting quality by ~0.02 %.
+func DLRMH(ds *space.DLRMSpace) space.DLRMArch {
+	ar := BaselineDLRM(ds)
+	cfg := ds.Config
+
+	// Embedding: the informative head tables gain width (+1 step) for
+	// memorization; every table's vocabulary shrinks to 75 % of baseline.
+	ar.EmbWidths = append([]int(nil), ar.EmbWidths...)
+	ar.EmbVocabs = append([]int(nil), ar.EmbVocabs...)
+	for i := range ar.EmbWidths {
+		if i < len(ar.EmbWidths)/3 {
+			ar.EmbWidths[i] += cfg.EmbWidthStep
+		}
+		ar.EmbVocabs[i] = cfg.BaseVocab * 3 / 4
+	}
+
+	// Top MLP: the two widest layers gain a width step but adopt
+	// rank ≈ 0.4× width factorization — wider (more "layer size") yet
+	// ~30 % less compute.
+	ar.TopWidths = append([]int(nil), ar.TopWidths...)
+	ar.TopRanks = append([]int(nil), ar.TopRanks...)
+	for i := range ar.TopWidths {
+		if i < 2 {
+			ar.TopWidths[i] += cfg.MLPWidthStep
+			ar.TopRanks[i] = roundTo8(ar.TopWidths[i] * 35 / 100)
+		} else {
+			ar.TopRanks[i] = ar.TopWidths[i]
+		}
+	}
+	return ar
+}
+
+func roundTo8(v int) int {
+	if v < 8 {
+		return 8
+	}
+	return (v + 7) / 8 * 8
+}

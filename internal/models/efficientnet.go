@@ -1,0 +1,155 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/arch"
+)
+
+// ENetStage is one EfficientNet stage before compound scaling.
+type ENetStage struct {
+	Width, Depth, Stride, Kernel, Expansion int
+	Fused                                   bool
+	SERatio                                 float64
+}
+
+// enetBaseStages is the B0 backbone with the EfficientNet-X hardware
+// specializations: fused MBConv in the early (shallow, wide-spatial)
+// stages where fusion's higher operational intensity wins, unfused MBConv
+// deeper where channel depth makes depthwise factorization cheaper —
+// exactly the Figure 4 trade-off.
+var enetBaseStages = []ENetStage{
+	{Width: 16, Depth: 1, Stride: 1, Kernel: 3, Expansion: 1, SERatio: 0.25},
+	{Width: 24, Depth: 2, Stride: 2, Kernel: 3, Expansion: 6, SERatio: 0.25, Fused: true},
+	{Width: 40, Depth: 2, Stride: 2, Kernel: 5, Expansion: 6, SERatio: 0.25, Fused: true},
+	{Width: 80, Depth: 3, Stride: 2, Kernel: 3, Expansion: 6, SERatio: 0.25},
+	{Width: 112, Depth: 3, Stride: 1, Kernel: 5, Expansion: 6, SERatio: 0.25},
+	{Width: 192, Depth: 4, Stride: 2, Kernel: 5, Expansion: 6, SERatio: 0.25},
+	{Width: 320, Depth: 1, Stride: 1, Kernel: 3, Expansion: 6, SERatio: 0.25},
+}
+
+// enetScaling is the (widthMult, depthMult, resolution) compound-scaling
+// table for B0–B7.
+var enetScaling = [8]struct {
+	w, d float64
+	res  int
+}{
+	{1.0, 1.0, 224}, {1.0, 1.1, 240}, {1.1, 1.2, 260}, {1.2, 1.4, 300},
+	{1.4, 1.8, 380}, {1.6, 2.2, 456}, {1.8, 2.6, 528}, {2.0, 3.1, 600},
+}
+
+// ENetSpec is one (scaled) EfficientNet model.
+type ENetSpec struct {
+	Name       string
+	Stages     []ENetStage
+	Resolution int
+	StemWidth  int
+	HeadWidth  int
+	Batch      int
+}
+
+// EfficientNetX returns baseline variant i (B0–B7) of the EfficientNet-X
+// family at the standard per-chip training batch of 128.
+func EfficientNetX(i int) ENetSpec {
+	if i < 0 || i > 7 {
+		panic(fmt.Sprintf("models: EfficientNet variant %d outside 0..7", i))
+	}
+	sc := enetScaling[i]
+	stages := make([]ENetStage, len(enetBaseStages))
+	for j, st := range enetBaseStages {
+		st.Width = roundFilters(float64(st.Width) * sc.w)
+		st.Depth = int(math.Ceil(float64(st.Depth) * sc.d))
+		stages[j] = st
+	}
+	return ENetSpec{
+		Name:       fmt.Sprintf("EfficientNet-X-B%d", i),
+		Stages:     stages,
+		Resolution: sc.res,
+		StemWidth:  roundFilters(32 * sc.w),
+		HeadWidth:  roundFilters(1280 * sc.w),
+		Batch:      128,
+	}
+}
+
+// EfficientNetH returns the H₂O-NAS variant: identical to the baseline for
+// B0–B4 (the search found no improvement — those models are already at
+// their Pareto front), while B5–B7 change the expansion factors of the
+// heavy deep stages from a uniform 6 to a mixture of 4 and 6 inside the
+// dynamically fused MBConv (Section 7.1.3).
+func EfficientNetH(i int) ENetSpec {
+	s := EfficientNetX(i)
+	if i < 5 {
+		return s
+	}
+	s.Name = fmt.Sprintf("EfficientNet-H-B%d", i)
+	for j := range s.Stages {
+		// The searched mixture: expansion 4 in the widest stages (4–6),
+		// keeping 6 elsewhere.
+		if j >= 4 && s.Stages[j].Expansion == 6 {
+			s.Stages[j].Expansion = 4
+		}
+	}
+	return s
+}
+
+// Graph expands the spec into its operator graph.
+func (s ENetSpec) Graph() *arch.Graph {
+	const dt = 2
+	b := s.Batch
+	g := &arch.Graph{Name: s.Name, Batch: b, DTypeBytes: dt}
+	var params float64
+
+	res := s.Resolution
+	// EfficientNet-X space-to-depth stem: reshape + stride-2 conv.
+	g.Add(arch.SpaceToDepthOp(s.Name+"/s2d", b*res*res*3, dt))
+	g.Add(arch.ConvOp(s.Name+"/stem", b, res, res, 3, s.StemWidth, 3, 2, dt))
+	params += float64(3*3*3*s.StemWidth + s.StemWidth)
+	h := (res + 1) / 2
+	in := s.StemWidth
+
+	for i, st := range s.Stages {
+		for layer := 0; layer < st.Depth; layer++ {
+			spec := arch.MBConvSpec{
+				Name: fmt.Sprintf("%s/s%d/l%d", s.Name, i, layer),
+				In:   in, Out: st.Width, Kernel: st.Kernel,
+				Expansion: st.Expansion, SERatio: st.SERatio,
+				Fused: st.Fused, Stride: 1, Act: "swish",
+				H: h, W: h, Batch: b, DType: dt,
+			}
+			if layer == 0 {
+				spec.Stride = st.Stride
+			}
+			for _, op := range spec.Ops() {
+				g.Add(op)
+				params += op.ParamBytes / dt
+			}
+			hh, _, cc := spec.OutShape()
+			h, in = hh, cc
+		}
+	}
+	g.Add(arch.ConvOp(s.Name+"/head", b, h, h, in, s.HeadWidth, 1, 1, dt))
+	params += float64(in*s.HeadWidth + s.HeadWidth)
+	g.Add(arch.PoolOp(s.Name+"/pool", b*h*h*s.HeadWidth, b*s.HeadWidth, dt))
+	g.Add(arch.DenseOp(s.Name+"/classifier", b, s.HeadWidth, 1000, dt))
+	params += float64(s.HeadWidth*1000 + 1000)
+	g.Params = params
+	return g
+}
+
+// ServingGraph returns the graph at a serving batch size.
+func (s ENetSpec) ServingGraph(batch int) *arch.Graph {
+	c := s
+	c.Batch = batch
+	return c.Graph()
+}
+
+// roundFilters rounds a scaled width to the nearest multiple of 8, the
+// EfficientNet convention (and the hardware-friendly alignment).
+func roundFilters(w float64) int {
+	r := int(w+4) / 8 * 8
+	if r < 8 {
+		return 8
+	}
+	return r
+}

@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"fmt"
+
+	"h2onas/internal/tensor"
+)
+
+// MaskedConv2D is a 2-D convolution with fine-grained channel sharing: the
+// kernel is sized for the widest candidate (maxIn×maxOut channels) and any
+// channel-prefix sub-kernel can be active — the convolutional counterpart
+// of MaskedDense, enabling width search inside a CNN super-network.
+//
+// Tensors are flattened NHWC: x is batch×(H·W·activeIn). The layer uses
+// im2col + the masked matmul, so gradients flow only through the active
+// channel prefix.
+type MaskedConv2D struct {
+	W *Param // (K·K·maxIn)×maxOut, im2col layout
+	B *Param // 1×maxOut
+
+	Kernel, Stride int
+	MaxIn, MaxOut  int
+
+	activeIn, activeOut int
+	h, w                int // input spatial dims, set per Forward via SetInput
+
+	cols  *tensor.Matrix // cached im2col matrix
+	outH  int
+	outW  int
+	batch int
+}
+
+// NewMaskedConv2D returns a K×K convolution slot with stride s, sized for
+// maxIn×maxOut channels, Glorot-initialized over the full kernel fan.
+func NewMaskedConv2D(kernel, stride, maxIn, maxOut int, rng *tensor.RNG) *MaskedConv2D {
+	if kernel < 1 || stride < 1 || maxIn < 1 || maxOut < 1 {
+		panic("nn: invalid MaskedConv2D dimensions")
+	}
+	fanIn := kernel * kernel * maxIn
+	return &MaskedConv2D{
+		W:         NewParam(fmt.Sprintf("conv_w_%dx%dx%dx%d", kernel, kernel, maxIn, maxOut), tensor.GlorotUniform(fanIn, maxOut, rng)),
+		B:         NewParam(fmt.Sprintf("conv_b_%d", maxOut), tensor.New(1, maxOut)),
+		Kernel:    kernel,
+		Stride:    stride,
+		MaxIn:     maxIn,
+		MaxOut:    maxOut,
+		activeIn:  maxIn,
+		activeOut: maxOut,
+	}
+}
+
+// SetActive selects the active channel widths and the input spatial shape
+// of the next Forward. Padding is SAME (output = ceil(h/stride)).
+func (l *MaskedConv2D) SetActive(in, out, h, w int) {
+	if in < 1 || in > l.MaxIn || out < 1 || out > l.MaxOut {
+		panic(fmt.Sprintf("nn: MaskedConv2D.SetActive(%d,%d) outside 1..%dx1..%d", in, out, l.MaxIn, l.MaxOut))
+	}
+	if h < 1 || w < 1 {
+		panic("nn: MaskedConv2D needs positive spatial dims")
+	}
+	l.activeIn, l.activeOut = in, out
+	l.h, l.w = h, w
+}
+
+// OutShape returns the output spatial dims under SAME padding.
+func (l *MaskedConv2D) OutShape() (oh, ow int) {
+	oh = (l.h + l.Stride - 1) / l.Stride
+	ow = (l.w + l.Stride - 1) / l.Stride
+	return oh, ow
+}
+
+// Forward computes the convolution. x is batch×(h·w·activeIn) NHWC.
+func (l *MaskedConv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.h*l.w*l.activeIn {
+		panic(fmt.Sprintf("nn: MaskedConv2D input %d != %d·%d·%d", x.Cols, l.h, l.w, l.activeIn))
+	}
+	l.batch = x.Rows
+	oh, ow := l.OutShape()
+	l.outH, l.outW = oh, ow
+	k, s, ci := l.Kernel, l.Stride, l.activeIn
+	pad := ((oh-1)*s + k - l.h) / 2
+	if pad < 0 {
+		pad = 0
+	}
+
+	// im2col: rows = batch·outH·outW, cols = k·k·activeIn.
+	cols := tensor.New(x.Rows*oh*ow, k*k*ci)
+	for n := 0; n < x.Rows; n++ {
+		xrow := x.Row(n)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				crow := cols.Row((n*oh+oy)*ow + ox)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s + ky - pad
+					if iy < 0 || iy >= l.h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s + kx - pad
+						if ix < 0 || ix >= l.w {
+							continue
+						}
+						src := (iy*l.w + ix) * ci
+						dst := (ky*k + kx) * ci
+						copy(crow[dst:dst+ci], xrow[src:src+ci])
+					}
+				}
+			}
+		}
+	}
+	l.cols = cols
+
+	// Masked matmul against the active sub-kernel: rows of W are laid out
+	// (ky,kx,maxIn) so the active-channel rows are strided, not a prefix —
+	// gather them explicitly.
+	out := tensor.New(cols.Rows, l.activeOut)
+	for r := 0; r < cols.Rows; r++ {
+		crow := cols.Row(r)
+		orow := out.Row(r)
+		copy(orow, l.B.Value.Data[:l.activeOut])
+		for kk := 0; kk < k*k; kk++ {
+			for c := 0; c < ci; c++ {
+				v := crow[kk*ci+c]
+				if v == 0 {
+					continue
+				}
+				wrow := l.W.Value.Row(kk*l.MaxIn + c)[:l.activeOut]
+				for j, wv := range wrow {
+					orow[j] += v * wv
+				}
+			}
+		}
+	}
+	// Reshape rows (batch·oh·ow)×out → batch×(oh·ow·out).
+	y := tensor.New(x.Rows, oh*ow*l.activeOut)
+	for n := 0; n < x.Rows; n++ {
+		yrow := y.Row(n)
+		for p := 0; p < oh*ow; p++ {
+			copy(yrow[p*l.activeOut:(p+1)*l.activeOut], out.Row(n*oh*ow+p))
+		}
+	}
+	return y
+}
+
+// Backward accumulates kernel/bias gradients on the active channels and
+// returns dX (batch×(h·w·activeIn)).
+func (l *MaskedConv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.cols == nil {
+		panic("nn: MaskedConv2D.Backward before Forward")
+	}
+	oh, ow := l.outH, l.outW
+	k, s, ci, co := l.Kernel, l.Stride, l.activeIn, l.activeOut
+	if grad.Cols != oh*ow*co {
+		panic(fmt.Sprintf("nn: MaskedConv2D grad %d != %d·%d·%d", grad.Cols, oh, ow, co))
+	}
+	pad := ((oh-1)*s + k - l.h) / 2
+	if pad < 0 {
+		pad = 0
+	}
+
+	// Flatten grad to (batch·oh·ow)×co rows.
+	dcols := tensor.New(l.cols.Rows, k*k*ci)
+	for n := 0; n < l.batch; n++ {
+		grow := grad.Row(n)
+		for p := 0; p < oh*ow; p++ {
+			g := grow[p*co : (p+1)*co]
+			crow := l.cols.Row(n*oh*ow + p)
+			drow := dcols.Row(n*oh*ow + p)
+			// dW += colsᵀ·g ; db += g ; dcols = g·Wᵀ (active slices).
+			for kk := 0; kk < k*k; kk++ {
+				for c := 0; c < ci; c++ {
+					wrow := l.W.Value.Row(kk*l.MaxIn + c)[:co]
+					gwrow := l.W.Grad.Row(kk*l.MaxIn + c)[:co]
+					cv := crow[kk*ci+c]
+					var sum float64
+					for j, gv := range g {
+						sum += gv * wrow[j]
+						gwrow[j] += gv * cv
+					}
+					drow[kk*ci+c] = sum
+				}
+			}
+			brow := l.B.Grad.Data[:co]
+			for j, gv := range g {
+				brow[j] += gv
+			}
+		}
+	}
+
+	// col2im: scatter dcols back to input positions.
+	dx := tensor.New(l.batch, l.h*l.w*ci)
+	for n := 0; n < l.batch; n++ {
+		dxrow := dx.Row(n)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				drow := dcols.Row((n*oh+oy)*ow + ox)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s + ky - pad
+					if iy < 0 || iy >= l.h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s + kx - pad
+						if ix < 0 || ix >= l.w {
+							continue
+						}
+						dst := (iy*l.w + ix) * ci
+						src := (ky*k + kx) * ci
+						for c := 0; c < ci; c++ {
+							dxrow[dst+c] += drow[src+c]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (l *MaskedConv2D) Params() []*Param { return []*Param{l.W, l.B} }

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"fmt"
+
+	"h2onas/internal/tensor"
+)
+
+// MaskedDepthwiseConv2D is a depthwise (per-channel) 2-D convolution with
+// fine-grained channel sharing: one K×K kernel per channel, sized for the
+// widest candidate; any channel prefix can be active. Together with
+// MaskedConv2D it provides the building blocks of a CNN super-network's
+// (fused) MBConv slots.
+//
+// Tensors are flattened NHWC: x is batch×(H·W·activeC).
+type MaskedDepthwiseConv2D struct {
+	W *Param // (K·K)×maxC: kernel tap × channel
+	B *Param // 1×maxC
+
+	Kernel, Stride int
+	MaxC           int
+
+	activeC int
+	h, w    int
+
+	input *tensor.Matrix
+	outH  int
+	outW  int
+}
+
+// NewMaskedDepthwiseConv2D returns a K×K depthwise slot with stride s for
+// up to maxC channels.
+func NewMaskedDepthwiseConv2D(kernel, stride, maxC int, rng *tensor.RNG) *MaskedDepthwiseConv2D {
+	if kernel < 1 || stride < 1 || maxC < 1 {
+		panic("nn: invalid MaskedDepthwiseConv2D dimensions")
+	}
+	return &MaskedDepthwiseConv2D{
+		W:       NewParam(fmt.Sprintf("dwconv_w_%dx%dx%d", kernel, kernel, maxC), tensor.GlorotUniform(kernel*kernel, maxC, rng)),
+		B:       NewParam(fmt.Sprintf("dwconv_b_%d", maxC), tensor.New(1, maxC)),
+		Kernel:  kernel,
+		Stride:  stride,
+		MaxC:    maxC,
+		activeC: maxC,
+	}
+}
+
+// SetActive selects the active channel count and input spatial shape.
+func (l *MaskedDepthwiseConv2D) SetActive(c, h, w int) {
+	if c < 1 || c > l.MaxC {
+		panic(fmt.Sprintf("nn: MaskedDepthwiseConv2D.SetActive(%d) outside 1..%d", c, l.MaxC))
+	}
+	if h < 1 || w < 1 {
+		panic("nn: MaskedDepthwiseConv2D needs positive spatial dims")
+	}
+	l.activeC, l.h, l.w = c, h, w
+}
+
+// OutShape returns the output spatial dims under SAME padding.
+func (l *MaskedDepthwiseConv2D) OutShape() (oh, ow int) {
+	oh = (l.h + l.Stride - 1) / l.Stride
+	ow = (l.w + l.Stride - 1) / l.Stride
+	return oh, ow
+}
+
+func (l *MaskedDepthwiseConv2D) pad(oh int) int {
+	p := ((oh-1)*l.Stride + l.Kernel - l.h) / 2
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Forward computes the depthwise convolution.
+func (l *MaskedDepthwiseConv2D) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.h*l.w*l.activeC {
+		panic(fmt.Sprintf("nn: MaskedDepthwiseConv2D input %d != %d·%d·%d", x.Cols, l.h, l.w, l.activeC))
+	}
+	l.input = x
+	oh, ow := l.OutShape()
+	l.outH, l.outW = oh, ow
+	k, s, c := l.Kernel, l.Stride, l.activeC
+	pad := l.pad(oh)
+
+	y := tensor.New(x.Rows, oh*ow*c)
+	for n := 0; n < x.Rows; n++ {
+		xrow := x.Row(n)
+		yrow := y.Row(n)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				out := yrow[(oy*ow+ox)*c : (oy*ow+ox+1)*c]
+				copy(out, l.B.Value.Data[:c])
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s + ky - pad
+					if iy < 0 || iy >= l.h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s + kx - pad
+						if ix < 0 || ix >= l.w {
+							continue
+						}
+						in := xrow[(iy*l.w+ix)*c : (iy*l.w+ix+1)*c]
+						wrow := l.W.Value.Row(ky*k + kx)[:c]
+						for ch := 0; ch < c; ch++ {
+							out[ch] += in[ch] * wrow[ch]
+						}
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates kernel/bias gradients on the active channels and
+// returns dX.
+func (l *MaskedDepthwiseConv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input == nil {
+		panic("nn: MaskedDepthwiseConv2D.Backward before Forward")
+	}
+	oh, ow := l.outH, l.outW
+	k, s, c := l.Kernel, l.Stride, l.activeC
+	if grad.Cols != oh*ow*c {
+		panic(fmt.Sprintf("nn: MaskedDepthwiseConv2D grad %d != %d·%d·%d", grad.Cols, oh, ow, c))
+	}
+	pad := l.pad(oh)
+	x := l.input
+	dx := tensor.New(x.Rows, l.h*l.w*c)
+	for n := 0; n < x.Rows; n++ {
+		xrow := x.Row(n)
+		grow := grad.Row(n)
+		dxrow := dx.Row(n)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grow[(oy*ow+ox)*c : (oy*ow+ox+1)*c]
+				for ky := 0; ky < k; ky++ {
+					iy := oy*s + ky - pad
+					if iy < 0 || iy >= l.h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*s + kx - pad
+						if ix < 0 || ix >= l.w {
+							continue
+						}
+						in := xrow[(iy*l.w+ix)*c : (iy*l.w+ix+1)*c]
+						din := dxrow[(iy*l.w+ix)*c : (iy*l.w+ix+1)*c]
+						wrow := l.W.Value.Row(ky*k + kx)[:c]
+						gwrow := l.W.Grad.Row(ky*k + kx)[:c]
+						for ch := 0; ch < c; ch++ {
+							din[ch] += g[ch] * wrow[ch]
+							gwrow[ch] += g[ch] * in[ch]
+						}
+					}
+				}
+				brow := l.B.Grad.Data[:c]
+				for ch := 0; ch < c; ch++ {
+					brow[ch] += g[ch]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (l *MaskedDepthwiseConv2D) Params() []*Param { return []*Param{l.W, l.B} }

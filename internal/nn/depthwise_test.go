@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+func TestMaskedDepthwiseShapes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	d := NewMaskedDepthwiseConv2D(3, 1, 6, rng)
+	d.SetActive(4, 5, 5)
+	x := tensor.RandN(2, 5*5*4, 1, rng)
+	y := d.Forward(x)
+	if y.Rows != 2 || y.Cols != 5*5*4 {
+		t.Fatalf("output %dx%d", y.Rows, y.Cols)
+	}
+	d2 := NewMaskedDepthwiseConv2D(3, 2, 6, rng)
+	d2.SetActive(4, 5, 5)
+	if oh, ow := d2.OutShape(); oh != 3 || ow != 3 {
+		t.Fatalf("stride-2 shape %dx%d, want 3x3", oh, ow)
+	}
+}
+
+func TestMaskedDepthwiseChannelsIndependent(t *testing.T) {
+	// Perturbing channel 0 of the input must not change other channels'
+	// outputs — the defining property of a depthwise convolution.
+	rng := tensor.NewRNG(2)
+	d := NewMaskedDepthwiseConv2D(3, 1, 3, rng)
+	d.SetActive(3, 4, 4)
+	x := tensor.RandN(1, 4*4*3, 1, rng)
+	base := d.Forward(x).Clone()
+	x.Data[0] += 1 // channel 0 of pixel (0,0)
+	perturbed := d.Forward(x)
+	for i := 0; i < 4*4; i++ {
+		for ch := 1; ch < 3; ch++ {
+			if perturbed.Data[i*3+ch] != base.Data[i*3+ch] {
+				t.Fatal("cross-channel leakage in depthwise conv")
+			}
+		}
+	}
+}
+
+func TestMaskedDepthwiseGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	d := NewMaskedDepthwiseConv2D(3, 2, 5, rng)
+	d.SetActive(3, 5, 5) // sub-channel candidate, stride 2
+	oh, ow := d.OutShape()
+	x := tensor.RandN(2, 5*5*3, 0.7, rng)
+	y := tensor.RandN(2, oh*ow*3, 0.7, rng)
+	loss := MSE{}
+	lossFn := func() float64 {
+		out := d.Forward(x)
+		l, _ := loss.Eval(out, y)
+		return l
+	}
+	ZeroGrads(d.Params())
+	out := d.Forward(x)
+	_, dout := loss.Eval(out, y)
+	dx := d.Backward(dout)
+	for _, p := range d.Params() {
+		want := numericalGrad(p, lossFn)
+		for i := range want.Data {
+			if math.Abs(p.Grad.Data[i]-want.Data[i]) > 1e-5 {
+				t.Fatalf("%s grad[%d]: analytic %v vs numeric %v", p.Name, i, p.Grad.Data[i], want.Data[i])
+			}
+		}
+	}
+	const eps = 1e-6
+	for i := 0; i < len(x.Data); i += 4 {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		up := lossFn()
+		x.Data[i] = orig - eps
+		down := lossFn()
+		x.Data[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx.Data[i]) > 1e-5 {
+			t.Fatalf("dX[%d]: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+	// Inactive channels must carry no gradient.
+	for kk := 0; kk < 9; kk++ {
+		row := d.W.Grad.Row(kk)
+		for ch := 3; ch < 5; ch++ {
+			if row[ch] != 0 {
+				t.Fatal("inactive depthwise channels received gradient")
+			}
+		}
+	}
+}

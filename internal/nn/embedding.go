@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/tensor"
+)
+
+// Embedding is the fine-grained weight-sharing embedding table of the DLRM
+// super-network (Figure 3 ①): a vocab×maxWidth table from which any prefix
+// width D can be selected; smaller widths reuse the first D columns of the
+// shared vectors. Lookups take index lists (a "bag" per example) and mean-
+// pool them, the standard DLRM sparse-feature reduction.
+//
+// Embedding does not implement Layer because its input is integer indices,
+// not a Matrix; the super-network wires it explicitly.
+type Embedding struct {
+	Table *Param // vocab×maxWidth
+
+	activeWidth int
+	activeVocab int
+	lastIndices [][]int
+}
+
+// NewEmbedding returns a vocab×maxWidth table initialized N(0, 1/√maxWidth).
+func NewEmbedding(vocab, maxWidth int, rng *tensor.RNG) *Embedding {
+	std := 1 / math.Sqrt(float64(maxWidth))
+	t := tensor.RandN(vocab, maxWidth, std, rng)
+	e := &Embedding{
+		Table:       NewParam(fmt.Sprintf("embedding_%dx%d", vocab, maxWidth), t),
+		activeWidth: maxWidth,
+		activeVocab: vocab,
+	}
+	return e
+}
+
+// SetActiveWidth selects how many leading columns of each vector are used.
+func (e *Embedding) SetActiveWidth(d int) {
+	if d <= 0 || d > e.Table.Value.Cols {
+		panic(fmt.Sprintf("nn: Embedding.SetActiveWidth(%d) outside 1..%d", d, e.Table.Value.Cols))
+	}
+	e.activeWidth = d
+}
+
+// SetActiveVocab restricts lookups to the first v rows; indices are taken
+// modulo v, modelling a shrunken vocabulary (hash collisions fold tail ids
+// onto head ids, as production vocabulary truncation does).
+func (e *Embedding) SetActiveVocab(v int) {
+	if v <= 0 || v > e.Table.Value.Rows {
+		panic(fmt.Sprintf("nn: Embedding.SetActiveVocab(%d) outside 1..%d", v, e.Table.Value.Rows))
+	}
+	e.activeVocab = v
+}
+
+// Active returns the current (width, vocab) selection.
+func (e *Embedding) Active() (width, vocab int) { return e.activeWidth, e.activeVocab }
+
+// Forward mean-pools the active-width vectors of each example's index bag,
+// producing a batch×activeWidth matrix. Empty bags produce zero vectors.
+func (e *Embedding) Forward(indices [][]int) *tensor.Matrix {
+	e.lastIndices = indices
+	out := tensor.New(len(indices), e.activeWidth)
+	for i, bag := range indices {
+		if len(bag) == 0 {
+			continue
+		}
+		orow := out.Row(i)
+		inv := 1 / float64(len(bag))
+		for _, idx := range bag {
+			row := e.Table.Value.Row(e.fold(idx))[:e.activeWidth]
+			for j, v := range row {
+				orow[j] += v * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward scatters the pooled gradient back onto the active columns of the
+// looked-up rows. There is no input gradient (indices are not
+// differentiable).
+func (e *Embedding) Backward(grad *tensor.Matrix) {
+	if e.lastIndices == nil {
+		panic("nn: Embedding.Backward before Forward")
+	}
+	if grad.Rows != len(e.lastIndices) || grad.Cols != e.activeWidth {
+		panic(fmt.Sprintf("nn: Embedding grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, len(e.lastIndices), e.activeWidth))
+	}
+	for i, bag := range e.lastIndices {
+		if len(bag) == 0 {
+			continue
+		}
+		grow := grad.Row(i)
+		inv := 1 / float64(len(bag))
+		for _, idx := range bag {
+			trow := e.Table.Grad.Row(e.fold(idx))[:e.activeWidth]
+			for j, g := range grow {
+				trow[j] += g * inv
+			}
+		}
+	}
+}
+
+// Params returns the shared table parameter.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
+
+func (e *Embedding) fold(idx int) int {
+	if idx < 0 {
+		idx = -idx
+	}
+	return idx % e.activeVocab
+}

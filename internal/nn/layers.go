@@ -1,0 +1,345 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/tensor"
+)
+
+// Param is a trainable parameter tensor together with its accumulated
+// gradient. Optimizers consume Params; layers own them.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam allocates a parameter with a zeroed gradient of matching shape.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage. Forward caches what Backward needs;
+// Backward accumulates parameter gradients (into Params' Grad) and returns
+// the gradient with respect to the layer input.
+type Layer interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = x·W + b, with x batch×in.
+type Dense struct {
+	W *Param // in×out
+	B *Param // 1×out
+
+	input *tensor.Matrix
+}
+
+// NewDense returns a Glorot-initialized in→out dense layer.
+func NewDense(in, out int, rng *tensor.RNG) *Dense {
+	return &Dense{
+		W: NewParam(fmt.Sprintf("dense_w_%dx%d", in, out), tensor.GlorotUniform(in, out, rng)),
+		B: NewParam(fmt.Sprintf("dense_b_%d", out), tensor.New(1, out)),
+	}
+}
+
+// Forward computes x·W + b.
+func (l *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.input = x
+	y := tensor.MatMul(x, l.W.Value)
+	tensor.AddRowVector(y, l.B.Value)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·grad, db = colsum(grad) and returns
+// dX = grad·Wᵀ.
+func (l *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.input, grad))
+	tensor.AddInPlace(l.B.Grad, tensor.ColSums(grad))
+	return tensor.MatMulTransB(grad, l.W.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (l *Dense) Params() []*Param { return []*Param{l.W, l.B} }
+
+// MaskedDense is the fine-grained weight-sharing dense layer of the DLRM
+// super-network (Figure 3 ③): a single maxIn×maxOut weight matrix from
+// which any activeIn×activeOut upper-left sub-matrix can be selected per
+// search step. Inactive rows/columns neither contribute to the forward
+// pass nor receive gradient, exactly as if they were masked to zero.
+type MaskedDense struct {
+	W *Param // maxIn×maxOut
+	B *Param // 1×maxOut
+
+	activeIn, activeOut int
+	input               *tensor.Matrix
+}
+
+// NewMaskedDense returns a super-network dense layer sized for the largest
+// candidate. Both active sizes start at the maximum.
+func NewMaskedDense(maxIn, maxOut int, rng *tensor.RNG) *MaskedDense {
+	return &MaskedDense{
+		W:         NewParam(fmt.Sprintf("masked_w_%dx%d", maxIn, maxOut), tensor.GlorotUniform(maxIn, maxOut, rng)),
+		B:         NewParam(fmt.Sprintf("masked_b_%d", maxOut), tensor.New(1, maxOut)),
+		activeIn:  maxIn,
+		activeOut: maxOut,
+	}
+}
+
+// SetActive selects the sub-matrix used by subsequent Forward/Backward
+// calls. It panics if the requested size exceeds the allocated maximum.
+func (l *MaskedDense) SetActive(in, out int) {
+	if in <= 0 || in > l.W.Value.Rows || out <= 0 || out > l.W.Value.Cols {
+		panic(fmt.Sprintf("nn: MaskedDense.SetActive(%d,%d) outside 1..%dx1..%d", in, out, l.W.Value.Rows, l.W.Value.Cols))
+	}
+	l.activeIn, l.activeOut = in, out
+}
+
+// Active returns the currently selected (in, out) sub-matrix size.
+func (l *MaskedDense) Active() (in, out int) { return l.activeIn, l.activeOut }
+
+// Forward computes y = x·W[0:in,0:out] + b[0:out]. x must be batch×activeIn;
+// the output is batch×activeOut.
+func (l *MaskedDense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.activeIn {
+		panic(fmt.Sprintf("nn: MaskedDense input width %d != active in %d", x.Cols, l.activeIn))
+	}
+	l.input = x
+	out := tensor.New(x.Rows, l.activeOut)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		orow := out.Row(i)
+		copy(orow, l.B.Value.Data[:l.activeOut])
+		for k := 0; k < l.activeIn; k++ {
+			xv := xrow[k]
+			if xv == 0 {
+				continue
+			}
+			wrow := l.W.Value.Row(k)[:l.activeOut]
+			for j, wv := range wrow {
+				orow[j] += xv * wv
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients for the active sub-matrix only and
+// returns dX (batch×activeIn).
+func (l *MaskedDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input == nil {
+		panic("nn: MaskedDense.Backward before Forward")
+	}
+	if grad.Cols != l.activeOut {
+		panic(fmt.Sprintf("nn: MaskedDense grad width %d != active out %d", grad.Cols, l.activeOut))
+	}
+	x := l.input
+	dx := tensor.New(x.Rows, l.activeIn)
+	for i := 0; i < x.Rows; i++ {
+		grow := grad.Row(i)
+		xrow := x.Row(i)
+		dxrow := dx.Row(i)
+		for k := 0; k < l.activeIn; k++ {
+			wrow := l.W.Value.Row(k)[:l.activeOut]
+			gwrow := l.W.Grad.Row(k)[:l.activeOut]
+			xv := xrow[k]
+			var s float64
+			for j, gv := range grow {
+				s += gv * wrow[j]
+				gwrow[j] += gv * xv
+			}
+			dxrow[k] = s
+		}
+		brow := l.B.Grad.Data[:l.activeOut]
+		for j, gv := range grow {
+			brow[j] += gv
+		}
+	}
+	return dx
+}
+
+// Params returns the full super-network weight and bias parameters.
+func (l *MaskedDense) Params() []*Param { return []*Param{l.W, l.B} }
+
+// LowRankDense is the weight-shared low-rank factorized dense layer of the
+// DLRM super-network (Figure 3 ④): y = (x·U[:, :r])·V[:r, :] + b where the
+// rank r is searchable. The factors are sized for the maximum rank and
+// shared across all rank candidates (fine-grained sharing: rank r reuses
+// the first r columns/rows of the factors).
+type LowRankDense struct {
+	U *Param // maxIn×maxRank
+	V *Param // maxRank×maxOut
+	B *Param // 1×maxOut
+
+	activeIn, activeOut, activeRank int
+	input, hidden                   *tensor.Matrix
+}
+
+// NewLowRankDense returns a super-network low-rank layer sized for the
+// largest candidate in every dimension.
+//
+// Initialization is calibrated so the composition U·V at full rank has the
+// same elementwise variance as a Glorot-initialized maxIn×maxOut dense
+// matrix: U is Glorot uniform; V is Gaussian with variance
+// (maxIn+maxRank)/((maxIn+maxOut)·maxRank). Two independently-Glorot
+// factors would compose to a map whose output variance shrinks with every
+// layer, making deep factorized candidates untrainable.
+func NewLowRankDense(maxIn, maxOut, maxRank int, rng *tensor.RNG) *LowRankDense {
+	vStd := math.Sqrt(float64(maxIn+maxRank) / (float64(maxIn+maxOut) * float64(maxRank)))
+	return &LowRankDense{
+		U:          NewParam(fmt.Sprintf("lowrank_u_%dx%d", maxIn, maxRank), tensor.GlorotUniform(maxIn, maxRank, rng)),
+		V:          NewParam(fmt.Sprintf("lowrank_v_%dx%d", maxRank, maxOut), tensor.RandN(maxRank, maxOut, vStd, rng)),
+		B:          NewParam(fmt.Sprintf("lowrank_b_%d", maxOut), tensor.New(1, maxOut)),
+		activeIn:   maxIn,
+		activeOut:  maxOut,
+		activeRank: maxRank,
+	}
+}
+
+// SetActive selects the active input width, output width and rank.
+func (l *LowRankDense) SetActive(in, out, rank int) {
+	if in <= 0 || in > l.U.Value.Rows || rank <= 0 || rank > l.U.Value.Cols || out <= 0 || out > l.V.Value.Cols {
+		panic(fmt.Sprintf("nn: LowRankDense.SetActive(%d,%d,%d) out of range", in, out, rank))
+	}
+	l.activeIn, l.activeOut, l.activeRank = in, out, rank
+}
+
+// Active returns the currently selected (in, out, rank).
+func (l *LowRankDense) Active() (in, out, rank int) {
+	return l.activeIn, l.activeOut, l.activeRank
+}
+
+// Forward computes the two-stage product over the active sub-factors.
+func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.activeIn {
+		panic(fmt.Sprintf("nn: LowRankDense input width %d != active in %d", x.Cols, l.activeIn))
+	}
+	l.input = x
+	h := tensor.New(x.Rows, l.activeRank)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		hrow := h.Row(i)
+		for k := 0; k < l.activeIn; k++ {
+			xv := xrow[k]
+			if xv == 0 {
+				continue
+			}
+			urow := l.U.Value.Row(k)[:l.activeRank]
+			for j, uv := range urow {
+				hrow[j] += xv * uv
+			}
+		}
+	}
+	l.hidden = h
+	out := tensor.New(x.Rows, l.activeOut)
+	for i := 0; i < x.Rows; i++ {
+		hrow := h.Row(i)
+		orow := out.Row(i)
+		copy(orow, l.B.Value.Data[:l.activeOut])
+		for k := 0; k < l.activeRank; k++ {
+			hv := hrow[k]
+			if hv == 0 {
+				continue
+			}
+			vrow := l.V.Value.Row(k)[:l.activeOut]
+			for j, vv := range vrow {
+				orow[j] += hv * vv
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients for the active sub-factors and returns dX.
+func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input == nil || l.hidden == nil {
+		panic("nn: LowRankDense.Backward before Forward")
+	}
+	if grad.Cols != l.activeOut {
+		panic(fmt.Sprintf("nn: LowRankDense grad width %d != active out %d", grad.Cols, l.activeOut))
+	}
+	x, h := l.input, l.hidden
+	dh := tensor.New(x.Rows, l.activeRank)
+	for i := 0; i < x.Rows; i++ {
+		grow := grad.Row(i)
+		hrow := h.Row(i)
+		dhrow := dh.Row(i)
+		for k := 0; k < l.activeRank; k++ {
+			vrow := l.V.Value.Row(k)[:l.activeOut]
+			gvrow := l.V.Grad.Row(k)[:l.activeOut]
+			hv := hrow[k]
+			var s float64
+			for j, gv := range grow {
+				s += gv * vrow[j]
+				gvrow[j] += gv * hv
+			}
+			dhrow[k] = s
+		}
+		brow := l.B.Grad.Data[:l.activeOut]
+		for j, gv := range grow {
+			brow[j] += gv
+		}
+	}
+	dx := tensor.New(x.Rows, l.activeIn)
+	for i := 0; i < x.Rows; i++ {
+		dhrow := dh.Row(i)
+		xrow := x.Row(i)
+		dxrow := dx.Row(i)
+		for k := 0; k < l.activeIn; k++ {
+			urow := l.U.Value.Row(k)[:l.activeRank]
+			gurow := l.U.Grad.Row(k)[:l.activeRank]
+			xv := xrow[k]
+			var s float64
+			for j, dhv := range dhrow {
+				s += dhv * urow[j]
+				gurow[j] += dhv * xv
+			}
+			dxrow[k] = s
+		}
+	}
+	return dx
+}
+
+// Params returns both factors and the bias.
+func (l *LowRankDense) Params() []*Param { return []*Param{l.U, l.V, l.B} }
+
+// Sequential chains layers; the output of each feeds the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a container over layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs all layers' Backward in reverse order.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all layers' parameters in order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/tensor"
+)
+
+// Loss computes a scalar training objective and the gradient of that
+// objective with respect to the model output. Both are returned by a single
+// call because every loss needs the forward quantities to compute the
+// gradient anyway.
+type Loss interface {
+	// Eval returns (mean loss over the batch, dLoss/dOutput).
+	Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix)
+}
+
+// BCEWithLogits is binary cross-entropy on raw logits (batch×1), the DLRM
+// click-through objective. It folds the sigmoid into the loss for numerical
+// stability: loss = max(z,0) − z·y + log(1+e^−|z|).
+type BCEWithLogits struct{}
+
+// Eval implements Loss. Targets must be in {0,1} (soft labels in [0,1] are
+// also accepted).
+func (BCEWithLogits) Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	checkSame("BCEWithLogits", output, target)
+	n := float64(len(output.Data))
+	grad := tensor.New(output.Rows, output.Cols)
+	var total float64
+	for i, z := range output.Data {
+		y := target.Data[i]
+		total += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+		grad.Data[i] = (sigmoid(z) - y) / n
+	}
+	return total / n, grad
+}
+
+// MSE is mean squared error, used to train the performance model.
+type MSE struct{}
+
+// Eval implements Loss: loss = mean((out−target)²), grad = 2(out−target)/n.
+func (MSE) Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	checkSame("MSE", output, target)
+	n := float64(len(output.Data))
+	grad := tensor.New(output.Rows, output.Cols)
+	var total float64
+	for i, v := range output.Data {
+		d := v - target.Data[i]
+		total += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return total / n, grad
+}
+
+// SoftmaxCE is softmax cross-entropy over rows, with one-hot targets.
+type SoftmaxCE struct{}
+
+// Eval implements Loss. Each row of target must be a probability
+// distribution (typically one-hot).
+func (SoftmaxCE) Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	checkSame("SoftmaxCE", output, target)
+	n := float64(output.Rows)
+	grad := tensor.New(output.Rows, output.Cols)
+	var total float64
+	for i := 0; i < output.Rows; i++ {
+		logits := output.Row(i)
+		probs := Softmax(logits)
+		trow := target.Row(i)
+		grow := grad.Row(i)
+		for j, p := range probs {
+			if trow[j] > 0 {
+				total += -trow[j] * math.Log(math.Max(p, 1e-300))
+			}
+			grow[j] = (p - trow[j]) / n
+		}
+	}
+	return total / n, grad
+}
+
+// Softmax returns the softmax of logits, numerically stabilized.
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogLoss returns the binary log loss of a probability p against label y,
+// clamped away from 0 and 1. It is the per-example quality metric the DLRM
+// search reports.
+func LogLoss(p, y float64) float64 {
+	p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+func checkSame(op string, a, b *tensor.Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+// mbconvBlock composes the masked conv layers into one (fused) MBConv —
+// the macro structure of the CNN search space (Figure 4a) — demonstrating
+// that the substrate supports CNN super-networks: expansion, depthwise and
+// projection all share channel-masked weights.
+type mbconvBlock struct {
+	expand  *MaskedConv2D          // 1×1, c → e·c
+	dw      *MaskedDepthwiseConv2D // k×k on e·c (nil when fused)
+	fused   *MaskedConv2D          // k×k, c → e·c (nil when unfused)
+	project *MaskedConv2D          // 1×1, e·c → c
+	act1    *ActivationLayer
+	act2    *ActivationLayer
+}
+
+func newMBConv(fused bool, kernel, maxC, maxExp int, rng *tensor.RNG) *mbconvBlock {
+	b := &mbconvBlock{
+		project: NewMaskedConv2D(1, 1, maxC*maxExp, maxC, rng.Split()),
+		act1:    NewActivationLayer(Swish),
+		act2:    NewActivationLayer(Swish),
+	}
+	if fused {
+		b.fused = NewMaskedConv2D(kernel, 1, maxC, maxC*maxExp, rng.Split())
+	} else {
+		b.expand = NewMaskedConv2D(1, 1, maxC, maxC*maxExp, rng.Split())
+		b.dw = NewMaskedDepthwiseConv2D(kernel, 1, maxC*maxExp, rng.Split())
+	}
+	return b
+}
+
+// forward runs the block at (c channels, expansion e, h×w) with residual.
+func (b *mbconvBlock) forward(x *tensor.Matrix, c, e, h, w int) *tensor.Matrix {
+	mid := c * e
+	var y *tensor.Matrix
+	if b.fused != nil {
+		b.fused.SetActive(c, mid, h, w)
+		y = b.act1.Forward(b.fused.Forward(x))
+	} else {
+		b.expand.SetActive(c, mid, h, w)
+		y = b.act1.Forward(b.expand.Forward(x))
+		b.dw.SetActive(mid, h, w)
+		y = b.act2.Forward(b.dw.Forward(y))
+	}
+	b.project.SetActive(mid, c, h, w)
+	y = b.project.Forward(y)
+	return tensor.Add(x, y)
+}
+
+func (b *mbconvBlock) backward(grad *tensor.Matrix) *tensor.Matrix {
+	g := b.project.Backward(grad)
+	if b.fused != nil {
+		g = b.fused.Backward(b.act1.Backward(g))
+	} else {
+		g = b.dw.Backward(b.act2.Backward(g))
+		g = b.expand.Backward(b.act1.Backward(g))
+	}
+	return tensor.Add(grad, g) // residual
+}
+
+func (b *mbconvBlock) params() []*Param {
+	ps := b.project.Params()
+	if b.fused != nil {
+		ps = append(ps, b.fused.Params()...)
+	} else {
+		ps = append(ps, b.expand.Params()...)
+		ps = append(ps, b.dw.Params()...)
+	}
+	return ps
+}
+
+func TestMBConvBlocksTrainAtMultipleWidths(t *testing.T) {
+	// Train both block types on a tiny image-regression task, alternating
+	// the active width/expansion per step — the weight-sharing pattern a
+	// CNN super-network uses. Loss must fall for both.
+	const maxC, maxExp, h, w = 4, 4, 5, 5
+	for _, fused := range []bool{false, true} {
+		rng := tensor.NewRNG(7)
+		blk := newMBConv(fused, 3, maxC, maxExp, rng)
+		opt := NewAdam(0.003)
+		loss := MSE{}
+		var first, last float64
+		for step := 0; step < 250; step++ {
+			c := 2 + (step%2)*2 // alternate widths 2 and 4
+			e := 2 + (step%3)   // expansions 2..4
+			x := tensor.RandN(4, h*w*c, 0.5, rng)
+			// Target: a fixed smooth function of the input.
+			y := tensor.Apply(x, func(v float64) float64 { return 0.5*v + 0.2*v*v })
+			out := blk.forward(x, c, e, h, w)
+			l, dout := loss.Eval(out, y)
+			if step == 0 {
+				first = l
+			}
+			last = l
+			ZeroGrads(blk.params())
+			blk.backward(dout)
+			ClipGradNorm(blk.params(), 10)
+			opt.Step(blk.params())
+		}
+		if last > first*0.5 {
+			t.Errorf("fused=%v: MBConv block failed to train under width sharing: %v → %v", fused, first, last)
+		}
+	}
+}
+
+func TestMBConvGradFiniteAcrossCandidates(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	blk := newMBConv(false, 3, 6, 3, rng)
+	for _, cfg := range [][2]int{{2, 2}, {4, 3}, {6, 3}, {3, 1}} {
+		c, e := cfg[0], cfg[1]
+		x := tensor.RandN(2, 4*4*c, 1, rng)
+		out := blk.forward(x, c, e, 4, 4)
+		_, dout := MSE{}.Eval(out, tensor.New(out.Rows, out.Cols))
+		ZeroGrads(blk.params())
+		dx := blk.backward(dout)
+		if got := tensor.MaxAbs(dx); got == 0 {
+			t.Errorf("candidate (c=%d,e=%d): zero input gradient", c, e)
+		}
+	}
+}

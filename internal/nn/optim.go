@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+
+	"h2onas/internal/tensor"
+)
+
+// Optimizer applies one update step to a set of parameters from their
+// accumulated gradients, then expects the caller to zero the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies v ← μv + g, p ← p − lr·v (plain p ← p − lr·g when μ = 0).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if o.WeightDecay != 0 {
+			tensor.AXPY(g, o.WeightDecay, p.Value)
+		}
+		if o.Momentum != 0 {
+			if o.velocity == nil {
+				o.velocity = make(map[*Param]*tensor.Matrix)
+			}
+			v := o.velocity[p]
+			if v == nil {
+				v = tensor.New(g.Rows, g.Cols)
+				o.velocity[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = o.Momentum*v.Data[i] + g.Data[i]
+			}
+			g = v
+		}
+		tensor.AXPY(p.Value, -o.LR, g)
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with standard defaults
+// (β₁=0.9, β₂=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one bias-corrected Adam update.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make(map[*Param]*tensor.Matrix)
+		o.v = make(map[*Param]*tensor.Matrix)
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = tensor.New(p.Grad.Rows, p.Grad.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mhat := m.Data[i] / c1
+			vhat := v.Data[i] / c2
+			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. It is a no-op when the norm is
+// already within bounds or maxNorm <= 0.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

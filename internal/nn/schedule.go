@@ -1,0 +1,78 @@
+package nn
+
+import "math"
+
+// Schedule maps a training step to a learning-rate multiplier in (0, 1].
+// Production searches warm the learning rate up while the super-network's
+// weights are raw, then decay it as the policy converges.
+type Schedule interface {
+	// Multiplier returns the LR factor at step (0-based).
+	Multiplier(step int) float64
+}
+
+// ConstantSchedule keeps the learning rate fixed.
+type ConstantSchedule struct{}
+
+// Multiplier implements Schedule.
+func (ConstantSchedule) Multiplier(int) float64 { return 1 }
+
+// WarmupCosineSchedule ramps linearly from near zero over WarmupSteps,
+// then follows a cosine decay to FloorFraction over TotalSteps.
+type WarmupCosineSchedule struct {
+	WarmupSteps int
+	TotalSteps  int
+	// FloorFraction is the final multiplier (default 0.1 when zero).
+	FloorFraction float64
+}
+
+// Multiplier implements Schedule.
+func (s WarmupCosineSchedule) Multiplier(step int) float64 {
+	floor := s.FloorFraction
+	if floor <= 0 {
+		floor = 0.1
+	}
+	if s.WarmupSteps > 0 && step < s.WarmupSteps {
+		return math.Max(float64(step+1)/float64(s.WarmupSteps), 1e-3)
+	}
+	if s.TotalSteps <= s.WarmupSteps {
+		return 1
+	}
+	progress := float64(step-s.WarmupSteps) / float64(s.TotalSteps-s.WarmupSteps)
+	if progress > 1 {
+		progress = 1
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*progress))
+	return floor + (1-floor)*cos
+}
+
+// ScheduledOptimizer wraps an optimizer with a learning-rate schedule.
+// It assumes the wrapped optimizer exposes its rate via a settable field
+// captured in SetLR.
+type ScheduledOptimizer struct {
+	Base     Optimizer
+	Schedule Schedule
+	// BaseLR is the peak learning rate the multiplier scales.
+	BaseLR float64
+	// SetLR writes the effective rate into the wrapped optimizer.
+	SetLR func(lr float64)
+
+	step int
+}
+
+// NewScheduledAdam wraps Adam with a schedule.
+func NewScheduledAdam(lr float64, schedule Schedule) *ScheduledOptimizer {
+	adam := NewAdam(lr)
+	return &ScheduledOptimizer{
+		Base:     adam,
+		Schedule: schedule,
+		BaseLR:   lr,
+		SetLR:    func(v float64) { adam.LR = v },
+	}
+}
+
+// Step applies the scheduled rate, then the wrapped optimizer's update.
+func (o *ScheduledOptimizer) Step(params []*Param) {
+	o.SetLR(o.BaseLR * o.Schedule.Multiplier(o.step))
+	o.step++
+	o.Base.Step(params)
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+func TestWarmupCosineShape(t *testing.T) {
+	s := WarmupCosineSchedule{WarmupSteps: 10, TotalSteps: 100}
+	// Ramps up during warmup.
+	if !(s.Multiplier(0) < s.Multiplier(5) && s.Multiplier(5) < s.Multiplier(9)) {
+		t.Fatal("warmup must ramp up")
+	}
+	// Peaks right after warmup.
+	if m := s.Multiplier(10); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("post-warmup multiplier = %v, want 1", m)
+	}
+	// Decays monotonically afterwards.
+	prev := 1.0
+	for step := 11; step <= 100; step += 10 {
+		m := s.Multiplier(step)
+		if m > prev+1e-12 {
+			t.Fatalf("cosine decay must be monotone: %v after %v", m, prev)
+		}
+		prev = m
+	}
+	// Lands at the floor.
+	if m := s.Multiplier(100); math.Abs(m-0.1) > 1e-9 {
+		t.Fatalf("final multiplier = %v, want floor 0.1", m)
+	}
+	// Stays at the floor past the end.
+	if m := s.Multiplier(10_000); math.Abs(m-0.1) > 1e-9 {
+		t.Fatalf("past-end multiplier = %v, want floor", m)
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	var s ConstantSchedule
+	for _, step := range []int{0, 1, 1000} {
+		if s.Multiplier(step) != 1 {
+			t.Fatal("constant schedule must always be 1")
+		}
+	}
+}
+
+func TestScheduledAdamConverges(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	model := NewSequential(NewDense(3, 1, rng))
+	opt := NewScheduledAdam(0.05, WarmupCosineSchedule{WarmupSteps: 20, TotalSteps: 400})
+	target := []float64{1.5, -2, 0.5}
+	var finalLoss float64
+	for step := 0; step < 400; step++ {
+		x := tensor.RandN(16, 3, 1, rng)
+		y := tensor.New(16, 1)
+		for i := 0; i < 16; i++ {
+			row := x.Row(i)
+			for j, w := range target {
+				y.Data[i] += w * row[j]
+			}
+		}
+		out := model.Forward(x)
+		l, dout := MSE{}.Eval(out, y)
+		finalLoss = l
+		ZeroGrads(model.Params())
+		model.Backward(dout)
+		opt.Step(model.Params())
+	}
+	if finalLoss > 1e-3 {
+		t.Fatalf("scheduled Adam failed to fit, loss %v", finalLoss)
+	}
+}
+
+func TestDegenerateScheduleTotals(t *testing.T) {
+	s := WarmupCosineSchedule{WarmupSteps: 10, TotalSteps: 10}
+	if s.Multiplier(20) != 1 {
+		t.Fatal("total ≤ warmup must hold the peak rate")
+	}
+}

@@ -1,0 +1,75 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"h2onas/internal/nn"
+)
+
+// The persisted form of a performance model. Pre-training is the
+// expensive phase (millions of simulator samples in production), so a
+// pre-trained model is a reusable artifact: save it once per
+// (search space, hardware) pair, load and fine-tune per deployment.
+
+// modelFile is the JSON wire format.
+type modelFile struct {
+	Version   int         `json:"version"`
+	FeatDim   int         `json:"feat_dim"`
+	Hidden    []int       `json:"hidden"`
+	TrainMean float64     `json:"train_mean"`
+	TrainStd  float64     `json:"train_std"`
+	ServeMean float64     `json:"serve_mean"`
+	ServeStd  float64     `json:"serve_std"`
+	Params    [][]float64 `json:"params"`
+}
+
+const persistVersion = 1
+
+// Save writes the model (architecture, normalization, weights) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Version:   persistVersion,
+		FeatDim:   m.featDim,
+		Hidden:    m.hidden,
+		TrainMean: m.trainMean,
+		TrainStd:  m.trainStd,
+		ServeMean: m.serveMean,
+		ServeStd:  m.serveStd,
+	}
+	for _, p := range m.net.Params() {
+		f.Params = append(f.Params, append([]float64(nil), p.Value.Data...))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("perfmodel: decoding saved model: %w", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("perfmodel: unsupported model file version %d", f.Version)
+	}
+	if f.FeatDim <= 0 {
+		return nil, fmt.Errorf("perfmodel: saved model has invalid feature dim %d", f.FeatDim)
+	}
+	m := New(f.FeatDim, f.Hidden, 0)
+	m.trainMean, m.trainStd = f.TrainMean, f.TrainStd
+	m.serveMean, m.serveStd = f.ServeMean, f.ServeStd
+	params := m.net.Params()
+	if len(params) != len(f.Params) {
+		return nil, fmt.Errorf("perfmodel: saved model has %d parameter tensors, architecture expects %d", len(f.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.Value.Data) != len(f.Params[i]) {
+			return nil, fmt.Errorf("perfmodel: parameter %d has %d values, expected %d", i, len(f.Params[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, f.Params[i])
+	}
+	nn.ZeroGrads(params)
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package perfmodel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := smallModel(1)
+	samples := synthSamples(500, testFeatDim, 1.0, 40)
+	if err := m.Pretrain(samples, fastPretrain()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be bit-identical.
+	for i := 0; i < 20; i++ {
+		f := samples[i].Features
+		t1, s1 := m.Predict(f)
+		t2, s2 := loaded.Predict(f)
+		if t1 != t2 || s1 != s2 {
+			t.Fatalf("loaded model diverges: (%v,%v) vs (%v,%v)", t1, s1, t2, s2)
+		}
+	}
+	// The loaded model must be fine-tunable.
+	if err := loaded.FineTune(samples[:20], DefaultFineTuneConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Fatal("corrupt input must error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"feat_dim":3}`)); err == nil {
+		t.Fatal("unknown version must error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"feat_dim":0}`)); err == nil {
+		t.Fatal("invalid feature dim must error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"feat_dim":3,"hidden":[4],"params":[[1,2]]}`)); err == nil {
+		t.Fatal("mismatched parameter tensors must error")
+	}
+}
+
+func TestSaveLoadPreservesNormalization(t *testing.T) {
+	m := smallModel(2)
+	samples := synthSamples(300, testFeatDim, 1.0, 41)
+	if err := m.Pretrain(samples, fastPretrain()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loaded.NRMSE(samples, TrainHead)-m.NRMSE(samples, TrainHead)) > 1e-12 {
+		t.Fatal("loaded model must evaluate identically")
+	}
+}

@@ -1,0 +1,69 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Architectures are exchanged between systems (search → retraining →
+// serving) as decision-name → option-label documents, robust to decision
+// reordering and self-describing for humans.
+
+// archFile is the JSON wire format.
+type archFile struct {
+	Version int               `json:"version"`
+	Space   string            `json:"space"`
+	Choices map[string]string `json:"choices"`
+}
+
+const persistVersion = 1
+
+// SaveAssignment writes the assignment as a named-choice JSON document.
+func (s *Space) SaveAssignment(w io.Writer, a Assignment) error {
+	if err := s.Validate(a); err != nil {
+		return err
+	}
+	f := archFile{Version: persistVersion, Space: s.Name, Choices: make(map[string]string, len(s.Decisions))}
+	for i, d := range s.Decisions {
+		f.Choices[d.Name] = d.Labels[a[i]]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f)
+}
+
+// LoadAssignment reads an assignment written by SaveAssignment, matching
+// choices by decision name and option label. Unknown decisions in the
+// file and missing decisions in the file both fail loudly.
+func (s *Space) LoadAssignment(r io.Reader) (Assignment, error) {
+	var f archFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("space: decoding saved architecture: %w", err)
+	}
+	if f.Version != persistVersion {
+		return nil, fmt.Errorf("space: unsupported architecture file version %d", f.Version)
+	}
+	if len(f.Choices) != len(s.Decisions) {
+		return nil, fmt.Errorf("space: file has %d choices, space has %d decisions", len(f.Choices), len(s.Decisions))
+	}
+	a := make(Assignment, len(s.Decisions))
+	for i, d := range s.Decisions {
+		label, ok := f.Choices[d.Name]
+		if !ok {
+			return nil, fmt.Errorf("space: file is missing decision %q", d.Name)
+		}
+		found := -1
+		for j, l := range d.Labels {
+			if l == label {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("space: decision %q has no option labeled %q", d.Name, label)
+		}
+		a[i] = found
+	}
+	return a, nil
+}

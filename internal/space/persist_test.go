@@ -1,0 +1,78 @@
+package space
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+func TestAssignmentSaveLoadRoundTrip(t *testing.T) {
+	ds := NewDLRMSpace(SmallDLRMConfig())
+	rng := tensor.NewRNG(1)
+	for trial := 0; trial < 10; trial++ {
+		a := make(Assignment, len(ds.Space.Decisions))
+		for i, d := range ds.Space.Decisions {
+			a[i] = rng.Intn(d.Arity())
+		}
+		var buf bytes.Buffer
+		if err := ds.Space.SaveAssignment(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.Space.LoadAssignment(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if got[i] != a[i] {
+				t.Fatalf("trial %d: decision %d loaded as %d, want %d", trial, i, got[i], a[i])
+			}
+		}
+	}
+}
+
+func TestSaveAssignmentValidates(t *testing.T) {
+	s := NewSpace("t", NewDecision("a", 1, 2))
+	var buf bytes.Buffer
+	if err := s.SaveAssignment(&buf, Assignment{7}); err == nil {
+		t.Fatal("invalid assignment must not serialize")
+	}
+}
+
+func TestLoadAssignmentRejectsMismatches(t *testing.T) {
+	s := NewSpace("t", NewDecision("a", 1, 2), NewDecision("b", 3, 4))
+	var buf bytes.Buffer
+	if err := s.SaveAssignment(&buf, Assignment{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	other := NewSpace("t2", NewDecision("a", 1, 2), NewDecision("zzz", 3, 4))
+	if _, err := other.LoadAssignment(strings.NewReader(saved)); err == nil {
+		t.Fatal("missing decision must be rejected")
+	}
+	if _, err := s.LoadAssignment(strings.NewReader(`{"version":1,"choices":{"a":"99","b":"3"}}`)); err == nil {
+		t.Fatal("unknown option label must be rejected")
+	}
+	if _, err := s.LoadAssignment(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("unknown version must be rejected")
+	}
+	if _, err := s.LoadAssignment(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("corrupt input must be rejected")
+	}
+}
+
+func TestSavedArchitectureIsHumanReadable(t *testing.T) {
+	ds := NewDLRMSpace(SmallDLRMConfig())
+	var buf bytes.Buffer
+	if err := ds.Space.SaveAssignment(&buf, ds.BaselineAssignment()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"emb0_width": "12"`, `"top_depth": "0"`, `"space"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("saved architecture missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/arch"
+)
+
+// TFMBlockConfig is the baseline for one multi-layer transformer block.
+type TFMBlockConfig struct {
+	Hidden, Layers, Heads, FFNRatio int
+}
+
+// ViTConfig is the baseline a transformer / hybrid-ViT search space is
+// anchored to: an optional convolutional stem (hybrid models à la CoAtNet)
+// followed by multi-layer transformer blocks.
+type ViTConfig struct {
+	Name string
+
+	// Transformer section.
+	Blocks []TFMBlockConfig
+
+	// Hybrid convolutional stem (nil ConvStages means pure ViT).
+	ConvStages []CNNStage
+	StemWidth  int
+
+	PatchSize  int
+	Resolution int
+	NumClasses int
+	WidthStep  int
+	Batch      int
+	DType      int
+
+	// HiddenStep/MaxHidden bound the searchable hidden sizes: multiples
+	// of HiddenStep up to MaxHidden. Zero values select the Table 5
+	// defaults (multiples of 64 up to 1024).
+	HiddenStep, MaxHidden int
+}
+
+// DefaultViTConfig returns a CoAtNet-shaped hybrid baseline: two
+// convolutional stages followed by two transformer blocks, the structure
+// Table 5's hybrid sizing (2 TFM + 2 conv blocks) assumes.
+func DefaultViTConfig() ViTConfig {
+	return ViTConfig{
+		Name: "vit-base",
+		Blocks: []TFMBlockConfig{
+			{Hidden: 384, Layers: 5, Heads: 8, FFNRatio: 4},
+			{Hidden: 768, Layers: 2, Heads: 12, FFNRatio: 4},
+		},
+		ConvStages: []CNNStage{
+			{Width: 96, Depth: 2, Stride: 2, Kernel: 3, Expansion: 4},
+			{Width: 192, Depth: 3, Stride: 2, Kernel: 3, Expansion: 4},
+		},
+		StemWidth:  64,
+		PatchSize:  16,
+		Resolution: 224,
+		NumClasses: 1000,
+		WidthStep:  64,
+		Batch:      64,
+		DType:      2,
+	}
+}
+
+// Table 5 hybrid-stem choices.
+var patchSizes = []float64{4, 7, 8, 14, 16, 28, 32}
+
+// vitResolutions spans 112–448 in 21 steps (Table 5: "total 21 choices").
+func vitResolutions() []float64 {
+	out := make([]float64, 21)
+	for i := range out {
+		out[i] = float64(112 + i*((448-112)/20))
+	}
+	return out
+}
+
+// hiddenSizes are multiples of step up to max; the Table 5 default is
+// multiples of 64 up to 1024 (16 choices).
+func hiddenSizes(cfg ViTConfig) []float64 {
+	step, maxH := cfg.HiddenStep, cfg.MaxHidden
+	if step <= 0 {
+		step = 64
+	}
+	if maxH <= 0 {
+		maxH = 1024
+	}
+	out := make([]float64, 0, maxH/step)
+	for h := step; h <= maxH; h += step {
+		out = append(out, float64(h))
+	}
+	return out
+}
+
+// SmallViTConfig returns a deliberately small pure-transformer baseline
+// whose super-network trains in seconds: the configuration used for
+// actual one-shot transformer searches in tests and examples. The
+// sequence task it pairs with lives in datapipe.SeqConfig.
+func SmallViTConfig() ViTConfig {
+	return ViTConfig{
+		Name: "tfm-small",
+		Blocks: []TFMBlockConfig{
+			{Hidden: 48, Layers: 2, Heads: 3, FFNRatio: 2},
+		},
+		PatchSize:  1,
+		Resolution: 16,
+		NumClasses: 2,
+		Batch:      64,
+		DType:      4,
+		HiddenStep: 16,
+		MaxHidden:  80,
+	}
+}
+
+// vitActivations are the searchable transformer activations of Table 5.
+var vitActivations = []string{"relu", "swish", "gelu", "squared_relu"}
+
+// ViTSpace couples a ViT/hybrid baseline with its search space.
+type ViTSpace struct {
+	Config ViTConfig
+	Space  *Space
+	// Hybrid reports whether the space includes the convolutional stem
+	// decisions.
+	Hybrid bool
+}
+
+// NewTransformerSpace constructs the pure transformer search space of
+// Table 5 (per block: hidden size, low rank, activation, sequence pooling,
+// Primer option, layer count). It can be "used in isolation to search for
+// pure VIT or transformer based NLP models".
+func NewTransformerSpace(cfg ViTConfig) *ViTSpace {
+	s := NewSpace("tfm/" + cfg.Name)
+	addTransformerDecisions(s, cfg)
+	return &ViTSpace{Config: cfg, Space: s}
+}
+
+// NewHybridViTSpace constructs the hybrid search space: the transformer
+// decisions plus the convolutional-stem decisions (patch size, initial
+// resolution, and the conv search space for each conv stage).
+func NewHybridViTSpace(cfg ViTConfig) *ViTSpace {
+	s := NewSpace("vit/" + cfg.Name)
+	for i, st := range cfg.ConvStages {
+		p := fmt.Sprintf("conv%d_", i)
+		s.Add(NewLabeledDecision(p+"type", []string{"mbconv", "fused_mbconv"}, []float64{0, 1}))
+		s.Add(NewDecision(p+"kernel", 3, 5, 7))
+		s.Add(NewDecision(p+"stride", 1, 2, 4))
+		s.Add(NewDecision(p+"expansion", 1, 3, 4, 6))
+		s.Add(NewLabeledDecision(p+"act", []string{"relu", "swish"}, []float64{0, 1}))
+		s.Add(NewLabeledDecision(p+"reshape", []string{"none", "space_to_depth", "space_to_batch"}, []float64{0, 1, 2}))
+		s.Add(NewDecision(p+"se_ratio", seRatios...))
+		s.Add(NewLabeledDecision(p+"skip", []string{"none", "identity"}, []float64{0, 1}))
+		s.Add(NewDecision(p+"depth", depthDeltas...))
+		s.Add(NewDecision(p+"width", offsets(st.Width, cfg.WidthStep, -5, 5, 8)...))
+	}
+	s.Add(NewDecision("patch_size", patchSizes...))
+	s.Add(NewDecision("resolution", vitResolutions()...))
+	addTransformerDecisions(s, cfg)
+	return &ViTSpace{Config: cfg, Space: s, Hybrid: true}
+}
+
+func addTransformerDecisions(s *Space, cfg ViTConfig) {
+	for i := range cfg.Blocks {
+		p := fmt.Sprintf("tfm%d_", i)
+		s.Add(NewDecision(p+"hidden", hiddenSizes(cfg)...))
+		s.Add(NewDecision(p+"lowrank", lowRankFractions...))
+		s.Add(NewLabeledDecision(p+"act", vitActivations, []float64{0, 1, 2, 3}))
+		s.Add(NewLabeledDecision(p+"seqpool", []string{"no", "yes"}, []float64{0, 1}))
+		s.Add(NewLabeledDecision(p+"primer", []string{"no", "yes"}, []float64{0, 1}))
+		s.Add(NewDecision(p+"layers", depthDeltas...))
+	}
+}
+
+// ViTArch is a decoded transformer / hybrid architecture.
+type ViTArch struct {
+	Resolution int
+	PatchSize  int
+	ConvBlocks []arch.MBConvSpec
+	ConvDepths []int
+	TFMBlocks  []arch.TransformerSpec
+}
+
+// Decode maps an assignment onto a ViTArch.
+func (v *ViTSpace) Decode(a Assignment) ViTArch {
+	if err := v.Space.Validate(a); err != nil {
+		panic(err)
+	}
+	cfg := v.Config
+	out := ViTArch{Resolution: cfg.Resolution, PatchSize: cfg.PatchSize}
+	if v.Hybrid {
+		out.Resolution = int(v.Space.Value(a, "resolution"))
+		out.PatchSize = int(v.Space.Value(a, "patch_size"))
+		for i, st := range cfg.ConvStages {
+			p := fmt.Sprintf("conv%d_", i)
+			depth := st.Depth + int(v.Space.Value(a, p+"depth"))
+			if depth < 1 {
+				depth = 1
+			}
+			act := "relu"
+			if v.Space.Value(a, p+"act") == 1 {
+				act = "swish"
+			}
+			out.ConvBlocks = append(out.ConvBlocks, arch.MBConvSpec{
+				Name:      fmt.Sprintf("conv%d", i),
+				Fused:     v.Space.Value(a, p+"type") == 1,
+				Out:       int(v.Space.Value(a, p+"width")),
+				Kernel:    int(v.Space.Value(a, p+"kernel")),
+				Stride:    int(v.Space.Value(a, p+"stride")),
+				Expansion: int(v.Space.Value(a, p+"expansion")),
+				SERatio:   v.Space.Value(a, p+"se_ratio"),
+				Act:       act,
+				Batch:     cfg.Batch,
+				DType:     cfg.DType,
+			})
+			out.ConvDepths = append(out.ConvDepths, depth)
+		}
+	}
+	for i, blk := range cfg.Blocks {
+		p := fmt.Sprintf("tfm%d_", i)
+		layers := blk.Layers + int(v.Space.Value(a, p+"layers"))
+		if layers < 1 {
+			layers = 1
+		}
+		out.TFMBlocks = append(out.TFMBlocks, arch.TransformerSpec{
+			Name:     fmt.Sprintf("tfm%d", i),
+			Hidden:   int(v.Space.Value(a, p+"hidden")),
+			Heads:    blk.Heads,
+			FFNRatio: blk.FFNRatio,
+			LowRank:  v.Space.Value(a, p+"lowrank"),
+			Act:      vitActivations[int(v.Space.Value(a, p+"act"))],
+			SeqPool:  v.Space.Value(a, p+"seqpool") == 1,
+			Primer:   v.Space.Value(a, p+"primer") == 1,
+			Layers:   layers,
+			Batch:    cfg.Batch,
+			DType:    cfg.DType,
+		})
+	}
+	return out
+}
+
+// BaselineAssignment returns the assignment reproducing the baseline.
+func (v *ViTSpace) BaselineAssignment() Assignment {
+	a := make(Assignment, len(v.Space.Decisions))
+	pick := func(name string, want float64) {
+		i := v.Space.Lookup(name)
+		best, bestDiff := 0, math.Inf(1)
+		for j, val := range v.Space.Decisions[i].Values {
+			if d := math.Abs(val - want); d < bestDiff {
+				best, bestDiff = j, d
+			}
+		}
+		a[i] = best
+	}
+	cfg := v.Config
+	if v.Hybrid {
+		for i, st := range cfg.ConvStages {
+			p := fmt.Sprintf("conv%d_", i)
+			pick(p+"type", 0)
+			pick(p+"kernel", float64(st.Kernel))
+			pick(p+"stride", float64(st.Stride))
+			pick(p+"expansion", float64(st.Expansion))
+			pick(p+"act", 1)
+			pick(p+"reshape", 0)
+			pick(p+"se_ratio", st.SERatio)
+			pick(p+"skip", 1)
+			pick(p+"depth", 0)
+			pick(p+"width", float64(st.Width))
+		}
+		pick("patch_size", float64(cfg.PatchSize))
+		pick("resolution", float64(cfg.Resolution))
+	}
+	for i, blk := range cfg.Blocks {
+		p := fmt.Sprintf("tfm%d_", i)
+		pick(p+"hidden", float64(blk.Hidden))
+		pick(p+"lowrank", 1)
+		pick(p+"act", 2) // gelu baseline
+		pick(p+"seqpool", 0)
+		pick(p+"primer", 0)
+		pick(p+"layers", 0)
+	}
+	return a
+}
+
+// Graph expands a decoded hybrid/transformer model into its operator
+// graph: conv stem and stages, patchification, transformer blocks, and
+// classifier head.
+func (v *ViTSpace) Graph(ar ViTArch) *arch.Graph {
+	cfg := v.Config
+	b, dt := cfg.Batch, cfg.DType
+	g := &arch.Graph{Name: cfg.Name, Batch: b, DTypeBytes: dt}
+
+	res := ar.Resolution
+	in := 3
+	h := res
+	var params float64
+	if len(ar.ConvBlocks) > 0 {
+		g.Add(arch.ConvOp("stem", b, res, res, 3, cfg.StemWidth, 3, 2, dt))
+		params += float64(3*3*3*cfg.StemWidth + cfg.StemWidth)
+		h = (res + 1) / 2
+		in = cfg.StemWidth
+		for i := range ar.ConvBlocks {
+			spec := ar.ConvBlocks[i]
+			for layer := 0; layer < ar.ConvDepths[i]; layer++ {
+				ls := spec
+				ls.Name = fmt.Sprintf("conv%d/l%d", i, layer)
+				ls.In = in
+				ls.H, ls.W = h, h
+				if layer > 0 {
+					ls.Stride = 1
+					ls.In = spec.Out
+				}
+				for _, op := range ls.Ops() {
+					g.Add(op)
+					params += op.ParamBytes / float64(dt)
+				}
+				hh, _, cc := ls.OutShape()
+				h, in = hh, cc
+			}
+		}
+	}
+	// Patchify whatever spatial extent remains into a token sequence.
+	patch := ar.PatchSize
+	if patch < 1 {
+		patch = 1
+	}
+	seq := (h / patch) * (h / patch)
+	if seq < 1 {
+		seq = 1
+	}
+	firstHidden := cfg.Blocks[0].Hidden
+	if len(ar.TFMBlocks) > 0 {
+		firstHidden = ar.TFMBlocks[0].Hidden
+	}
+	g.Add(arch.ConvOp("patchify", b, h, h, in, firstHidden, patch, patch, dt))
+	params += float64(patch*patch*in*firstHidden + firstHidden)
+
+	hidden := firstHidden
+	for i := range ar.TFMBlocks {
+		blk := ar.TFMBlocks[i]
+		blk.Seq = seq
+		if blk.Hidden != hidden {
+			// Width transition between blocks.
+			g.Add(arch.DenseOp(fmt.Sprintf("tfm%d/transition", i), b*seq, hidden, blk.Hidden, dt))
+			params += float64(hidden*blk.Hidden + blk.Hidden)
+			hidden = blk.Hidden
+		}
+		for _, op := range blk.Ops() {
+			g.Add(op)
+			params += op.ParamBytes / float64(dt) * op.Repeat()
+		}
+		seq = blk.OutSeq()
+	}
+	g.Add(arch.PoolOp("token_pool", b*seq*hidden, b*hidden, dt))
+	g.Add(arch.DenseOp("classifier", b, hidden, cfg.NumClasses, dt))
+	params += float64(hidden*cfg.NumClasses + cfg.NumClasses)
+	g.Params = params
+	return g
+}

@@ -1,0 +1,377 @@
+// Package supernet implements the first weight-sharing super-network for
+// DLRM on RL-based one-shot NAS (Section 5.1.2, Figure 3). Sharing is
+// hybrid:
+//
+//   - ① fine-grained over embedding widths: one vocab×maxWidth table per
+//     (feature, vocabulary) pair; smaller widths reuse the leading columns.
+//   - ② coarse-grained over vocabulary sizes: each vocabulary option gets
+//     its own table, avoiding harmful interaction between candidates that
+//     fold ids differently (a FineVocab option exists for ablating this
+//     choice — see VocabSharing).
+//   - ③ fine-grained over MLP widths: one maxIn×maxOut matrix per layer
+//     slot; smaller candidates use the upper-left sub-matrix.
+//   - ④ fine-grained over low-rank factorization: shared U/V factors per
+//     layer slot; rank r reuses the first r columns/rows.
+//
+// A candidate architecture (a space.Assignment) selects a sub-network;
+// Forward/Backward train only that sub-network's weights, exactly as if
+// the rest were masked to zero.
+package supernet
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// mlpSlot is one MLP layer slot implementing Figure 3's fine-grained
+// sharing for MLP layers (③/④): a single pair of shared low-rank factors
+// sized for the largest width and the full rank, from which every
+// candidate selects its (in, out, rank) sub-factors. The rank sweep of
+// Table 5 includes 10/10 — full rank — so the unfactorized candidate is
+// the factorized path at maximal rank; a single shared parameterization
+// keeps every rank candidate's weights inside every other candidate's
+// gradient flow (splitting full-rank weights into a separate matrix
+// starves whichever path is sampled less).
+type mlpSlot struct {
+	low *nn.LowRankDense
+
+	maxIn, maxOut int
+}
+
+// Supernet is the weight-sharing super-network for a DLRM search space.
+type Supernet struct {
+	DS   *space.DLRMSpace
+	opts Options
+
+	// tables[t][v] is feature t's embedding table for vocabulary option v.
+	tables [][]*nn.Embedding
+
+	bottom []*mlpSlot
+	top    []*mlpSlot
+	logit  *nn.MaskedDense
+
+	maxEmbWidth  int
+	maxBottomOut int
+	concatWidth  int
+
+	params []*nn.Param
+
+	// caches from the last Forward, consumed by Backward.
+	lastAssignment space.Assignment
+	lastArch       space.DLRMArch
+	lastBatch      *datapipe.Batch
+	lastActs       []*nn.ActivationLayer
+	lastBottomOut  int
+}
+
+// VocabSharing selects how vocabulary-size candidates share embedding
+// weights (the ② choice of Figure 3).
+type VocabSharing int
+
+const (
+	// CoarseVocab gives every vocabulary option its own table — the
+	// paper's choice, avoiding harmful interaction between candidates
+	// that fold ids differently, at the cost of each table seeing only
+	// its share of the traffic.
+	CoarseVocab VocabSharing = iota
+	// FineVocab shares one max-vocabulary table across all options;
+	// smaller vocabularies fold ids modulo their size. Every option
+	// trains the same rows (more gradient per row) but folded candidates
+	// write colliding updates into rows other candidates read — the
+	// interference the paper's design avoids. Kept for the ablation.
+	FineVocab
+)
+
+// Options configures super-network construction.
+type Options struct {
+	VocabSharing VocabSharing
+}
+
+// New builds the super-network sized for the largest candidate in every
+// decision of the space, with the paper's default sharing choices.
+func New(ds *space.DLRMSpace, rng *tensor.RNG) *Supernet {
+	return NewWithOptions(ds, rng, Options{})
+}
+
+// NewWithOptions builds the super-network with explicit sharing choices.
+func NewWithOptions(ds *space.DLRMSpace, rng *tensor.RNG, opts Options) *Supernet {
+	cfg := ds.Config
+	s := &Supernet{DS: ds, opts: opts}
+
+	s.maxEmbWidth = maxOption(ds.Space, "emb0_width")
+	for t := 0; t < cfg.NumTables; t++ {
+		widthDec := fmt.Sprintf("emb%d_width", t)
+		if w := maxOption(ds.Space, widthDec); w != s.maxEmbWidth {
+			panic("supernet: per-table max widths must agree")
+		}
+		vocabDec := ds.Space.Decisions[ds.Space.Lookup(fmt.Sprintf("emb%d_vocab", t))]
+		if opts.VocabSharing == FineVocab {
+			maxVocab := 0
+			for _, v := range vocabDec.Values {
+				if int(v) > maxVocab {
+					maxVocab = int(v)
+				}
+			}
+			s.tables = append(s.tables, []*nn.Embedding{nn.NewEmbedding(maxVocab, s.maxEmbWidth, rng.Split())})
+			continue
+		}
+		row := make([]*nn.Embedding, len(vocabDec.Values))
+		for v, vocab := range vocabDec.Values {
+			row[v] = nn.NewEmbedding(int(vocab), s.maxEmbWidth, rng.Split())
+		}
+		s.tables = append(s.tables, row)
+	}
+
+	buildSlots := func(prefix string, n, firstIn int) []*mlpSlot {
+		slots := make([]*mlpSlot, n)
+		in := firstIn
+		for i := 0; i < n; i++ {
+			out := maxOption(ds.Space, fmt.Sprintf("%s%d_width", prefix, i))
+			maxRank := min(in, out)
+			slots[i] = &mlpSlot{
+				low:    nn.NewLowRankDense(in, out, maxRank, rng.Split()),
+				maxIn:  in,
+				maxOut: out,
+			}
+			in = out
+		}
+		return slots
+	}
+	s.bottom = buildSlots("bottom", ds.MaxBottomLayers(), cfg.NumDense)
+	// The searched depth can stop at any slot, so the bottom output slot in
+	// the concat layout must fit the widest of them.
+	for _, slot := range s.bottom {
+		if slot.maxOut > s.maxBottomOut {
+			s.maxBottomOut = slot.maxOut
+		}
+	}
+	// The concat layout is fixed: [bottom slot | one slot per table], each
+	// at its maximum width, zero-padded when a candidate uses less. The
+	// zero padding is what implements input-side masking for the top MLP.
+	s.concatWidth = s.maxBottomOut + cfg.NumTables*s.maxEmbWidth
+	s.top = buildSlots("top", ds.MaxTopLayers(), s.concatWidth)
+	maxTopOut := 0
+	for _, slot := range s.top {
+		if slot.maxOut > maxTopOut {
+			maxTopOut = slot.maxOut
+		}
+	}
+	s.logit = nn.NewMaskedDense(maxTopOut, 1, rng.Split())
+
+	for _, row := range s.tables {
+		for _, e := range row {
+			s.params = append(s.params, e.Params()...)
+		}
+	}
+	for _, slot := range append(append([]*mlpSlot{}, s.bottom...), s.top...) {
+		s.params = append(s.params, slot.low.Params()...)
+	}
+	s.params = append(s.params, s.logit.Params()...)
+	return s
+}
+
+// Params returns every shared parameter in a stable order.
+func (s *Supernet) Params() []*nn.Param { return s.params }
+
+// ConcatWidth returns the fixed concatenated-feature width.
+func (s *Supernet) ConcatWidth() int { return s.concatWidth }
+
+// Replicate returns a view of the super-network that shares every
+// parameter *value* with s but accumulates gradients separately — one
+// replica per accelerator shard, with a cross-shard gradient reduction
+// after the parallel step (Section 4.2 stage 3).
+func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
+	r := NewWithOptions(s.DS, rng, s.opts)
+	for i, p := range r.params {
+		p.Value = s.params[i].Value
+	}
+	return r
+}
+
+// ReduceGrads sums the replicas' gradients into master's (averaging by
+// replica count), then clears the replicas' gradients. It is the
+// cross-shard gradient update of the parallel search step.
+func ReduceGrads(master *Supernet, replicas []*Supernet) {
+	if len(replicas) == 0 {
+		return
+	}
+	inv := 1 / float64(len(replicas))
+	for i, p := range master.params {
+		for _, r := range replicas {
+			tensor.AXPY(p.Grad, inv, r.params[i].Grad)
+			r.params[i].Grad.Zero()
+		}
+	}
+}
+
+// Forward runs the sub-network selected by the assignment over the batch
+// and returns logits (batch×1). The layers cache activations; call
+// Backward with the loss gradient to accumulate parameter gradients for
+// the same candidate.
+func (s *Supernet) Forward(a space.Assignment, batch *datapipe.Batch) *tensor.Matrix {
+	ar := s.DS.Decode(a)
+	cfg := s.DS.Config
+	n := batch.Size()
+
+	s.lastAssignment = append(space.Assignment(nil), a...)
+	s.lastArch = ar
+	s.lastBatch = batch
+	s.lastActs = nil
+
+	// Bottom MLP over dense features.
+	x := batch.Dense
+	for i, w := range ar.BottomWidths {
+		x = s.runSlot(s.bottom[i], x, w, ar.BottomRanks[i])
+		x = s.activate(x)
+	}
+	s.lastBottomOut = x.Cols
+
+	// Concat: bottom output then one fixed-offset slot per table.
+	concat := tensor.New(n, s.concatWidth)
+	for r := 0; r < n; r++ {
+		copy(concat.Row(r)[:x.Cols], x.Row(r))
+	}
+	for t := 0; t < cfg.NumTables; t++ {
+		w := ar.EmbWidths[t]
+		if w <= 0 {
+			continue
+		}
+		emb := s.tableFor(a, t, ar)
+		emb.SetActiveWidth(w)
+		out := emb.Forward(batch.Sparse[t])
+		off := s.maxBottomOut + t*s.maxEmbWidth
+		for r := 0; r < n; r++ {
+			copy(concat.Row(r)[off:off+w], out.Row(r))
+		}
+	}
+
+	// Top MLP: the first layer always sees the full concat width (the
+	// zero-padded layout is the mask); deeper layers use prefix widths.
+	y := concat
+	for i, w := range ar.TopWidths {
+		y = s.runSlot(s.top[i], y, w, ar.TopRanks[i])
+		y = s.activate(y)
+	}
+	s.logit.SetActive(y.Cols, 1)
+	return s.logit.Forward(y)
+}
+
+// runSlot runs one MLP slot at (activeIn = x.Cols, activeOut = w, rank).
+func (s *Supernet) runSlot(slot *mlpSlot, x *tensor.Matrix, w, rank int) *tensor.Matrix {
+	if r := min(w, x.Cols); rank > r {
+		rank = r
+	}
+	slot.low.SetActive(x.Cols, w, rank)
+	return slot.low.Forward(x)
+}
+
+func (s *Supernet) activate(x *tensor.Matrix) *tensor.Matrix {
+	act := nn.NewActivationLayer(nn.ReLU)
+	s.lastActs = append(s.lastActs, act)
+	return act.Forward(x)
+}
+
+// Backward propagates dLoss/dLogits through the sub-network selected by
+// the last Forward, accumulating gradients on the shared parameters.
+func (s *Supernet) Backward(dLogits *tensor.Matrix) {
+	if s.lastBatch == nil {
+		panic("supernet: Backward before Forward")
+	}
+	a, ar, cfg := s.lastAssignment, s.lastArch, s.DS.Config
+	actIdx := len(s.lastActs) - 1
+
+	grad := s.logit.Backward(dLogits)
+	for i := len(ar.TopWidths) - 1; i >= 0; i-- {
+		grad = s.lastActs[actIdx].Backward(grad)
+		actIdx--
+		grad = s.backSlot(s.top[i], ar.TopWidths[i], ar.TopRanks[i], grad)
+	}
+
+	// Scatter the concat gradient to the embeddings and the bottom MLP.
+	n := grad.Rows
+	for t := 0; t < cfg.NumTables; t++ {
+		w := ar.EmbWidths[t]
+		if w <= 0 {
+			continue
+		}
+		off := s.maxBottomOut + t*s.maxEmbWidth
+		eg := tensor.New(n, w)
+		for r := 0; r < n; r++ {
+			copy(eg.Row(r), grad.Row(r)[off:off+w])
+		}
+		s.tableFor(a, t, ar).Backward(eg)
+	}
+	bw := s.lastBottomOut
+	bg := tensor.New(n, bw)
+	for r := 0; r < n; r++ {
+		copy(bg.Row(r), grad.Row(r)[:bw])
+	}
+	grad = bg
+	for i := len(ar.BottomWidths) - 1; i >= 0; i-- {
+		grad = s.lastActs[actIdx].Backward(grad)
+		actIdx--
+		grad = s.backSlot(s.bottom[i], ar.BottomWidths[i], ar.BottomRanks[i], grad)
+	}
+}
+
+func (s *Supernet) backSlot(slot *mlpSlot, w, rank int, grad *tensor.Matrix) *tensor.Matrix {
+	_ = w
+	_ = rank
+	return slot.low.Backward(grad)
+}
+
+// tableFor returns the embedding table serving table t under the
+// assignment, configured for the candidate's vocabulary: the per-option
+// table under coarse sharing, or the shared table with the active
+// vocabulary folded under fine sharing.
+func (s *Supernet) tableFor(a space.Assignment, t int, ar space.DLRMArch) *nn.Embedding {
+	if s.opts.VocabSharing == FineVocab {
+		emb := s.tables[t][0]
+		emb.SetActiveVocab(ar.EmbVocabs[t])
+		return emb
+	}
+	return s.tables[t][s.vocabChoice(a, t)]
+}
+
+// vocabChoice returns the selected vocabulary option index for table t.
+func (s *Supernet) vocabChoice(a space.Assignment, t int) int {
+	return a[s.DS.Space.Lookup(fmt.Sprintf("emb%d_vocab", t))]
+}
+
+// Loss runs Forward and returns the BCE loss plus its logits gradient.
+func (s *Supernet) Loss(a space.Assignment, batch *datapipe.Batch) (float64, *tensor.Matrix) {
+	logits := s.Forward(a, batch)
+	return nn.BCEWithLogits{}.Eval(logits, batch.Labels)
+}
+
+// Quality evaluates the candidate's quality signal Q(α) on the batch
+// (forward only): 1 − logloss/ln 2, so predicting the uninformative 0.5
+// scores 0 and a perfect predictor scores 1.
+func (s *Supernet) Quality(a space.Assignment, batch *datapipe.Batch) float64 {
+	loss, _ := s.Loss(a, batch)
+	return 1 - loss/math.Ln2
+}
+
+// maxOption returns the largest numeric option of the named decision.
+func maxOption(sp *space.Space, name string) int {
+	d := sp.Decisions[sp.Lookup(name)]
+	best := d.Values[0]
+	for _, v := range d.Values {
+		if v > best {
+			best = v
+		}
+	}
+	return int(best)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package supernet
+
+import (
+	"math"
+	"testing"
+
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+func newSmall(t *testing.T, seed uint64) (*space.DLRMSpace, *Supernet, *datapipe.Stream) {
+	t.Helper()
+	ds := space.NewDLRMSpace(space.SmallDLRMConfig())
+	sn := New(ds, tensor.NewRNG(seed))
+	stream := datapipe.NewStream(datapipe.CTRConfig{
+		NumTables: ds.Config.NumTables,
+		Vocab:     ds.Config.BaseVocab,
+		NumDense:  ds.Config.NumDense,
+	}, seed)
+	return ds, sn, stream
+}
+
+func randomAssignment(ds *space.DLRMSpace, rng *tensor.RNG) space.Assignment {
+	a := make(space.Assignment, len(ds.Space.Decisions))
+	for i, d := range ds.Space.Decisions {
+		a[i] = rng.Intn(d.Arity())
+	}
+	return a
+}
+
+func TestForwardShape(t *testing.T) {
+	ds, sn, stream := newSmall(t, 1)
+	b := stream.NextBatch(16)
+	logits := sn.Forward(ds.BaselineAssignment(), b)
+	if logits.Rows != 16 || logits.Cols != 1 {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestForwardAnyCandidate(t *testing.T) {
+	ds, sn, stream := newSmall(t, 2)
+	rng := tensor.NewRNG(99)
+	b := stream.NextBatch(8)
+	for trial := 0; trial < 30; trial++ {
+		a := randomAssignment(ds, rng)
+		logits := sn.Forward(a, b)
+		for _, v := range logits.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("trial %d: non-finite logit for %s", trial, ds.Space.Describe(a))
+			}
+		}
+	}
+}
+
+func TestBackwardTouchesOnlyActiveSubnetwork(t *testing.T) {
+	ds, sn, stream := newSmall(t, 3)
+	b := stream.NextBatch(8)
+	// A candidate that removes table 0 (width 0).
+	a := ds.BaselineAssignment()
+	wIdx := ds.Space.Lookup("emb0_width")
+	zero := -1
+	for j, v := range ds.Space.Decisions[wIdx].Values {
+		if v == 0 {
+			zero = j
+		}
+	}
+	if zero < 0 {
+		t.Fatal("small config must allow width 0 (table removal)")
+	}
+	a[wIdx] = zero
+
+	nn.ZeroGrads(sn.Params())
+	loss, dout := sn.Loss(a, b)
+	if math.IsNaN(loss) {
+		t.Fatal("loss NaN")
+	}
+	sn.Backward(dout)
+	// Every table-0 embedding must have zero gradient.
+	for v, e := range sn.tables[0] {
+		if tensor.MaxAbs(e.Table.Grad) != 0 {
+			t.Fatalf("removed table 0 (vocab option %d) received gradient", v)
+		}
+	}
+	// The selected vocab option of table 1 must have gradient; others not.
+	choice := sn.vocabChoice(a, 1)
+	if tensor.MaxAbs(sn.tables[1][choice].Table.Grad) == 0 {
+		t.Fatal("active table 1 received no gradient")
+	}
+	for v, e := range sn.tables[1] {
+		if v != choice && tensor.MaxAbs(e.Table.Grad) != 0 {
+			t.Fatalf("inactive vocab option %d of table 1 received gradient (coarse sharing violated)", v)
+		}
+	}
+}
+
+func TestGradCheckThroughSupernet(t *testing.T) {
+	ds, sn, stream := newSmall(t, 4)
+	b := stream.NextBatch(4)
+	rng := tensor.NewRNG(5)
+	a := randomAssignment(ds, rng)
+
+	nn.ZeroGrads(sn.Params())
+	_, dout := sn.Loss(a, b)
+	sn.Backward(dout)
+
+	// Numerically check a handful of touched parameters.
+	const eps = 1e-6
+	checked := 0
+	for _, p := range sn.Params() {
+		if tensor.MaxAbs(p.Grad) == 0 {
+			continue
+		}
+		// Pick the largest-gradient element of this parameter.
+		idx, best := 0, 0.0
+		for i, g := range p.Grad.Data {
+			if math.Abs(g) > best {
+				idx, best = i, math.Abs(g)
+			}
+		}
+		orig := p.Value.Data[idx]
+		p.Value.Data[idx] = orig + eps
+		up, _ := sn.Loss(a, b)
+		p.Value.Data[idx] = orig - eps
+		down, _ := sn.Loss(a, b)
+		p.Value.Data[idx] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-p.Grad.Data[idx]) > 1e-4*math.Max(1, math.Abs(num)) {
+			t.Fatalf("param %s grad[%d]: analytic %v vs numeric %v", p.Name, idx, p.Grad.Data[idx], num)
+		}
+		checked++
+		if checked >= 8 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no parameters received gradient")
+	}
+}
+
+func TestTrainingImprovesQuality(t *testing.T) {
+	ds, sn, stream := newSmall(t, 6)
+	a := ds.BaselineAssignment()
+	opt := nn.NewAdam(0.003)
+	eval := stream.NextBatch(512)
+	before := sn.Quality(a, eval)
+	for step := 0; step < 60; step++ {
+		b := stream.NextBatch(128)
+		nn.ZeroGrads(sn.Params())
+		_, dout := sn.Loss(a, b)
+		sn.Backward(dout)
+		opt.Step(sn.Params())
+	}
+	after := sn.Quality(a, stream.NextBatch(512))
+	if after <= before+0.02 {
+		t.Fatalf("training did not improve quality: %v → %v", before, after)
+	}
+}
+
+func TestWiderEmbeddingsLearnMoreSignal(t *testing.T) {
+	// The architecture/quality dependence the search exploits: on the
+	// memorization-heavy task, candidates with wider embeddings should
+	// reach better quality than candidates with all tables removed.
+	ds, sn, stream := newSmall(t, 7)
+	wide := ds.BaselineAssignment()
+	narrow := append(space.Assignment(nil), wide...)
+	for i := 0; i < ds.Config.NumTables; i++ {
+		idx := ds.Space.Lookup("emb" + itoa(i) + "_width")
+		for j, v := range ds.Space.Decisions[idx].Values {
+			if v == 0 {
+				narrow[idx] = j
+			}
+		}
+	}
+	opt := nn.NewAdam(0.003)
+	train := func(a space.Assignment, steps int) float64 {
+		for step := 0; step < steps; step++ {
+			b := stream.NextBatch(128)
+			nn.ZeroGrads(sn.Params())
+			_, dout := sn.Loss(a, b)
+			sn.Backward(dout)
+			opt.Step(sn.Params())
+		}
+		return sn.Quality(a, stream.NextBatch(1024))
+	}
+	qWide := train(wide, 120)
+	qNarrow := train(narrow, 120)
+	if qWide <= qNarrow {
+		t.Fatalf("wide embeddings (%v) must beat no embeddings (%v) on a memorization task", qWide, qNarrow)
+	}
+}
+
+func TestReplicateSharesValuesNotGrads(t *testing.T) {
+	ds, sn, stream := newSmall(t, 8)
+	rng := tensor.NewRNG(9)
+	rep := sn.Replicate(rng)
+	// Values are aliased.
+	sn.Params()[0].Value.Data[0] = 42
+	if rep.Params()[0].Value.Data[0] != 42 {
+		t.Fatal("replica must share parameter values")
+	}
+	// Gradients are independent.
+	b := stream.NextBatch(8)
+	a := ds.BaselineAssignment()
+	_, dout := rep.Loss(a, b)
+	rep.Backward(dout)
+	var repHasGrad bool
+	for _, p := range rep.Params() {
+		if tensor.MaxAbs(p.Grad) > 0 {
+			repHasGrad = true
+		}
+	}
+	if !repHasGrad {
+		t.Fatal("replica backward produced no gradient")
+	}
+	for _, p := range sn.Params() {
+		if tensor.MaxAbs(p.Grad) != 0 {
+			t.Fatal("master gradients must stay clear until reduction")
+		}
+	}
+}
+
+func TestReduceGradsAverages(t *testing.T) {
+	ds, sn, stream := newSmall(t, 10)
+	rng := tensor.NewRNG(11)
+	r1, r2 := sn.Replicate(rng), sn.Replicate(rng)
+	b := stream.NextBatch(8)
+	a := ds.BaselineAssignment()
+	for _, r := range []*Supernet{r1, r2} {
+		_, dout := r.Loss(a, b)
+		r.Backward(dout)
+	}
+	// Same batch and candidate → identical grads; the average equals each.
+	want := r1.Params()[len(r1.Params())-1].Grad.Clone()
+	ReduceGrads(sn, []*Supernet{r1, r2})
+	got := sn.Params()[len(sn.Params())-1].Grad
+	if !tensor.Equal(got, want, 1e-9) {
+		t.Fatal("ReduceGrads must average replica gradients")
+	}
+	// Replicas are cleared for the next step.
+	if tensor.MaxAbs(r1.Params()[0].Grad) != 0 {
+		t.Fatal("replica grads must be cleared after reduction")
+	}
+}
+
+func TestQualityOfUninformativePredictorIsZeroish(t *testing.T) {
+	ds, sn, stream := newSmall(t, 12)
+	b := stream.NextBatch(256)
+	q := sn.Quality(ds.BaselineAssignment(), b)
+	// Untrained network ≈ random logits near zero → quality near 0.
+	if q > 0.3 || q < -1 {
+		t.Fatalf("untrained quality = %v, want near 0", q)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "math"
+
+// RNG is a small, deterministic SplitMix64-based random number generator.
+//
+// The search algorithm, the super-network initialization, and the synthetic
+// data pipeline all need independent, seedable, reproducible randomness on
+// many goroutines at once; math/rand's global source is locked and its
+// seeding across Go versions is awkward for that, so the project carries
+// its own generator. SplitMix64 passes BigCrush and splits cheaply.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split returns a new independent generator derived from r's stream,
+// advancing r. Derived generators are safe to hand to other goroutines.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard-normal sample (Box–Muller).
+func (r *RNG) Norm() float64 {
+	// Rejection-free Box–Muller; u1 in (0,1].
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Categorical samples an index from the (unnormalized, non-negative)
+// weights. It panics if the total weight is not positive.
+func (r *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("tensor: Categorical with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// RandN fills a rows×cols matrix with N(0, std²) samples.
+func RandN(rows, cols int, std float64, r *RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Norm() * std
+	}
+	return m
+}
+
+// GlorotUniform fills a fanIn×fanOut matrix with the Glorot/Xavier uniform
+// initialization, the default for dense layers.
+func GlorotUniform(fanIn, fanOut int, r *RNG) *Matrix {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	m := New(fanIn, fanOut)
+	for i := range m.Data {
+		m.Data[i] = (2*r.Float64() - 1) * limit
+	}
+	return m
+}

@@ -1,0 +1,172 @@
+package vitnet
+
+import (
+	"fmt"
+	"sync"
+
+	"h2onas/internal/controller"
+	"h2onas/internal/core"
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// Searcher runs the unified single-step parallel search over the pure
+// transformer space with a live super-network — the same three-stage step
+// as core.Searcher (sample α → quality on fresh data → cross-shard π and W
+// updates), against sequence traffic.
+type Searcher struct {
+	VS     *space.ViTSpace
+	Reward *reward.Function
+	Perf   core.PerfFunc
+	Stream *datapipe.SeqStream
+}
+
+// Result is the outcome of a transformer search.
+type Result struct {
+	Best         space.Assignment
+	BestArch     space.ViTArch
+	BestPerf     []float64
+	FinalQuality float64
+	History      []core.StepInfo
+	Candidates   []core.Candidate
+	ExamplesSeen int64
+}
+
+// Search runs the search. The sandwich shard and α-before-W ordering
+// behave exactly as in core.Searcher.
+func (s *Searcher) Search(cfg core.Config) (*Result, error) {
+	if s.VS == nil || s.Reward == nil || s.Perf == nil || s.Stream == nil {
+		return nil, fmt.Errorf("vitnet: Searcher requires VS, Reward, Perf and Stream")
+	}
+	if cfg.Shards <= 0 || cfg.Steps <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("vitnet: non-positive shards/steps/batch in %+v", cfg)
+	}
+	if cfg.WeightLR <= 0 {
+		cfg.WeightLR = 0.003
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	seqCfg := s.Stream.Config()
+	master := New(s.VS, seqCfg.Vocab, seqCfg.SeqLen, rng.Split())
+	replicas := make([]*Supernet, cfg.Shards)
+	for i := range replicas {
+		replicas[i] = master.Replicate(rng.Split())
+	}
+	ctrl := controller.New(s.VS.Space, cfg.Controller)
+	opt := nn.NewAdam(cfg.WeightLR)
+
+	res := &Result{}
+	assignments := make([]space.Assignment, cfg.Shards)
+	qualities := make([]float64, cfg.Shards)
+	batches := make([]*datapipe.SeqBatch, cfg.Shards)
+	maxA := maxAssignment(s.VS.Space)
+
+	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
+		warmup := step < cfg.WarmupSteps
+		for i := 0; i < cfg.Shards; i++ {
+			sandwich := !cfg.DisableSandwich && i == 0 && cfg.Shards > 1
+			if warmup && !cfg.DisableSandwich && i%2 == 0 {
+				sandwich = true
+			}
+			if sandwich {
+				assignments[i] = maxA
+			} else {
+				assignments[i] = ctrl.Policy.Sample(rng)
+			}
+			batches[i] = s.Stream.NextBatch(cfg.BatchSize)
+		}
+
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				b := batches[i]
+				b.UseForArch()
+				loss, dout := replicas[i].Loss(assignments[i], b)
+				qualities[i] = 1 - loss/ln2
+				b.UseForWeights()
+				replicas[i].Backward(dout)
+			}(i)
+		}
+		wg.Wait()
+
+		if !warmup {
+			first := 0
+			if !cfg.DisableSandwich && cfg.Shards > 1 {
+				first = 1
+			}
+			var policySamples []space.Assignment
+			var rewards []float64
+			for i := first; i < cfg.Shards; i++ {
+				perf := s.Perf(assignments[i])
+				rw := s.Reward.Eval(qualities[i], perf)
+				policySamples = append(policySamples, assignments[i])
+				rewards = append(rewards, rw)
+				res.Candidates = append(res.Candidates, core.Candidate{
+					Step:       step - cfg.WarmupSteps,
+					Assignment: append(space.Assignment(nil), assignments[i]...),
+					Quality:    qualities[i],
+					Perf:       perf,
+					Reward:     rw,
+				})
+			}
+			ctrl.Update(policySamples, rewards)
+			res.History = append(res.History, core.StepInfo{
+				Step:       step - cfg.WarmupSteps,
+				MeanReward: meanReward(rewards),
+				MeanQ:      meanFloat(qualities),
+				Entropy:    ctrl.Policy.Entropy(),
+				Confidence: ctrl.Policy.Confidence(),
+			})
+			if cfg.Progress != nil {
+				cfg.Progress(res.History[len(res.History)-1])
+			}
+		}
+
+		ReduceGrads(master, replicas)
+		nn.ClipGradNorm(master.Params(), 10)
+		opt.Step(master.Params())
+		nn.ZeroGrads(master.Params())
+	}
+
+	res.Best = ctrl.Policy.MostProbable()
+	res.BestArch = s.VS.Decode(res.Best)
+	res.BestPerf = s.Perf(res.Best)
+	final := s.Stream.NextBatch(cfg.BatchSize * 16)
+	final.UseForArch()
+	res.FinalQuality = master.Quality(res.Best, final)
+	res.ExamplesSeen = s.Stream.ExamplesServed()
+	return res, nil
+}
+
+const ln2 = 0.6931471805599453
+
+func maxAssignment(sp *space.Space) space.Assignment {
+	a := make(space.Assignment, len(sp.Decisions))
+	for i, d := range sp.Decisions {
+		best := 0
+		for j, v := range d.Values {
+			if v > d.Values[best] {
+				best = j
+			}
+		}
+		a[i] = best
+	}
+	return a
+}
+
+func meanReward(v []float64) float64 { return meanFloat(v) }
+
+func meanFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

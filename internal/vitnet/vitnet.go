@@ -1,0 +1,404 @@
+// Package vitnet implements the weight-sharing super-network for the pure
+// transformer search space (Table 5, Appendix A): token and positional
+// embeddings with fine-grained width sharing, per-layer attention and FFN
+// slots whose hidden size is masked to any searchable width, shared
+// low-rank FFN factors for the rank sweep, searchable activations and
+// sequence pooling, and a depth sweep over per-layer slots — the
+// transformer counterpart of the DLRM super-network, enabling one-shot
+// searches for "pure VIT or transformer based NLP models".
+//
+// The Primer decision (channel-wise depth convolutions) affects the
+// performance graph only; in the trainable super-network it is a no-op,
+// as its quality effect is below this substrate's resolution.
+package vitnet
+
+import (
+	"fmt"
+	"math"
+
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// layerSlot is one transformer layer's shared weights.
+type layerSlot struct {
+	ln0, ln1 *nn.MaskedLayerNorm
+	attn     *nn.MaskedAttention
+	ffnUp    *nn.LowRankDense // maxHidden → ffnRatio·maxHidden, shared rank factors
+	ffnDown  *nn.MaskedDense  // ffnRatio·maxHidden → maxHidden
+
+	// Per-forward caches.
+	act *nn.ActivationLayer
+}
+
+// blockSlots is one multi-layer transformer block's slots.
+type blockSlots struct {
+	layers   []*layerSlot
+	maxLayer int
+}
+
+// Supernet is the weight-sharing transformer super-network.
+type Supernet struct {
+	VS *space.ViTSpace
+
+	vocab, seqLen, maxHidden int
+	ffnRatio                 int
+
+	tokens *nn.Embedding // vocab×maxHidden, fine-grained width sharing
+	pos    *nn.Param     // seqLen×maxHidden
+	blocks []*blockSlots
+	trans  []*nn.MaskedDense // between-block width transitions
+	head   *nn.MaskedDense   // maxHidden → 1
+
+	params []*nn.Param
+
+	// Forward tape consumed by Backward.
+	lastArch  space.ViTArch
+	lastBatch *datapipe.SeqBatch
+	tape      []poolCache
+	headIn    *tensor.Matrix
+	headSeq   int
+}
+
+// poolCache records a sequence-pooling step for backward.
+type poolCache struct {
+	inSeq, outSeq, batch, width int
+}
+
+// New builds the super-network sized for the largest candidate. vocab and
+// seqLen come from the traffic configuration.
+func New(vs *space.ViTSpace, vocab, seqLen int, rng *tensor.RNG) *Supernet {
+	if vs.Hybrid {
+		panic("vitnet: super-network supports the pure transformer space")
+	}
+	cfg := vs.Config
+	maxHidden := maxOption(vs.Space, "tfm0_hidden")
+	s := &Supernet{
+		VS:        vs,
+		vocab:     vocab,
+		seqLen:    seqLen,
+		maxHidden: maxHidden,
+	}
+	s.ffnRatio = cfg.Blocks[0].FFNRatio
+	if s.ffnRatio <= 0 {
+		s.ffnRatio = 4
+	}
+	s.tokens = nn.NewEmbedding(vocab, maxHidden, rng.Split())
+	s.pos = nn.NewParam("pos_embedding", tensor.RandN(seqLen, maxHidden, 0.02, rng.Split()))
+
+	for b := range cfg.Blocks {
+		if mh := maxOption(vs.Space, fmt.Sprintf("tfm%d_hidden", b)); mh != maxHidden {
+			panic("vitnet: per-block max hidden sizes must agree")
+		}
+		maxLayers := cfg.Blocks[b].Layers + 3
+		blk := &blockSlots{maxLayer: maxLayers}
+		for l := 0; l < maxLayers; l++ {
+			inner := s.ffnRatio * maxHidden
+			slot := &layerSlot{
+				ln0:     nn.NewMaskedLayerNorm(maxHidden),
+				ln1:     nn.NewMaskedLayerNorm(maxHidden),
+				attn:    nn.NewMaskedAttention(maxHidden, rng.Split()),
+				ffnUp:   nn.NewLowRankDense(maxHidden, inner, maxHidden, rng.Split()),
+				ffnDown: nn.NewMaskedDense(inner, maxHidden, rng.Split()),
+			}
+			slot.attn.HeadDim = 16
+			blk.layers = append(blk.layers, slot)
+		}
+		s.blocks = append(s.blocks, blk)
+		if b > 0 {
+			s.trans = append(s.trans, nn.NewMaskedDense(maxHidden, maxHidden, rng.Split()))
+		}
+	}
+	s.head = nn.NewMaskedDense(maxHidden, 1, rng.Split())
+
+	s.params = append(s.params, s.tokens.Params()...)
+	s.params = append(s.params, s.pos)
+	for _, blk := range s.blocks {
+		for _, slot := range blk.layers {
+			s.params = append(s.params, slot.ln0.Params()...)
+			s.params = append(s.params, slot.attn.Params()...)
+			s.params = append(s.params, slot.ln1.Params()...)
+			s.params = append(s.params, slot.ffnUp.Params()...)
+			s.params = append(s.params, slot.ffnDown.Params()...)
+		}
+	}
+	for _, tr := range s.trans {
+		s.params = append(s.params, tr.Params()...)
+	}
+	s.params = append(s.params, s.head.Params()...)
+	return s
+}
+
+// Params returns all shared parameters in a stable order.
+func (s *Supernet) Params() []*nn.Param { return s.params }
+
+// Replicate returns a view sharing parameter values with s but with
+// independent gradients and forward caches — one per accelerator shard.
+func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
+	r := New(s.VS, s.vocab, s.seqLen, rng)
+	for i, p := range r.params {
+		p.Value = s.params[i].Value
+	}
+	return r
+}
+
+// ReduceGrads averages the replicas' gradients into master's and clears
+// the replicas.
+func ReduceGrads(master *Supernet, replicas []*Supernet) {
+	if len(replicas) == 0 {
+		return
+	}
+	inv := 1 / float64(len(replicas))
+	for i, p := range master.params {
+		for _, r := range replicas {
+			tensor.AXPY(p.Grad, inv, r.params[i].Grad)
+			r.params[i].Grad.Zero()
+		}
+	}
+}
+
+// Forward runs the sub-network selected by the assignment over the batch
+// and returns logits (batch×1).
+func (s *Supernet) Forward(a space.Assignment, batch *datapipe.SeqBatch) *tensor.Matrix {
+	ar := s.VS.Decode(a)
+	s.lastArch = ar
+	s.lastBatch = batch
+	s.tape = nil
+
+	n := batch.Size()
+	seq := s.seqLen
+	h := ar.TFMBlocks[0].Hidden
+
+	// Token + positional embeddings at active width h.
+	s.tokens.SetActiveWidth(h)
+	flat := make([][]int, n*seq)
+	for i, toks := range batch.Tokens {
+		for t, tok := range toks {
+			flat[i*seq+t] = []int{tok}
+		}
+	}
+	x := s.tokens.Forward(flat)
+	for i := 0; i < n; i++ {
+		for t := 0; t < seq; t++ {
+			row := x.Row(i*seq + t)
+			prow := s.pos.Value.Row(t)[:h]
+			for j := range row {
+				row[j] += prow[j]
+			}
+		}
+	}
+
+	for b, blkArch := range ar.TFMBlocks {
+		if b > 0 && blkArch.Hidden != h {
+			s.trans[b-1].SetActive(h, blkArch.Hidden)
+			x = s.trans[b-1].Forward(x)
+			h = blkArch.Hidden
+		}
+		blk := s.blocks[b]
+		layers := blkArch.Layers
+		if layers > blk.maxLayer {
+			layers = blk.maxLayer
+		}
+		act := actFromName(blkArch.Act)
+		rank := rankFor(blkArch.LowRank, h)
+		for l := 0; l < layers; l++ {
+			x = s.runLayer(blk.layers[l], x, h, seq, rank, act)
+		}
+		if blkArch.SeqPool && seq > 1 {
+			x, seq = s.pool(x, n, seq, h)
+		}
+	}
+
+	// Mean over sequence, then the classifier head.
+	s.headSeq = seq
+	pooled := tensor.New(n, h)
+	inv := 1 / float64(seq)
+	for i := 0; i < n; i++ {
+		prow := pooled.Row(i)
+		for t := 0; t < seq; t++ {
+			row := x.Row(i*seq + t)
+			for j := range prow {
+				prow[j] += row[j] * inv
+			}
+		}
+	}
+	s.headIn = pooled
+	s.head.SetActive(h, 1)
+	return s.head.Forward(pooled)
+}
+
+// runLayer executes one pre-norm transformer layer:
+// x ← x + Attn(LN0(x)); x ← x + FFNdown(act(FFNup(LN1(x)))).
+func (s *Supernet) runLayer(slot *layerSlot, x *tensor.Matrix, h, seq, rank int, act nn.Activation) *tensor.Matrix {
+	slot.ln0.SetActive(h)
+	slot.attn.SetActive(h, seq)
+	attnOut := slot.attn.Forward(slot.ln0.Forward(x))
+	y := tensor.Add(x, attnOut)
+
+	inner := s.ffnRatio * h
+	slot.ln1.SetActive(h)
+	slot.ffnUp.SetActive(h, inner, rank)
+	slot.ffnDown.SetActive(inner, h)
+	slot.act = nn.NewActivationLayer(act)
+	ffnOut := slot.ffnDown.Forward(slot.act.Forward(slot.ffnUp.Forward(slot.ln1.Forward(y))))
+	return tensor.Add(y, ffnOut)
+}
+
+// pool halves the sequence by averaging adjacent positions.
+func (s *Supernet) pool(x *tensor.Matrix, n, seq, h int) (*tensor.Matrix, int) {
+	outSeq := seq / 2
+	out := tensor.New(n*outSeq, h)
+	for i := 0; i < n; i++ {
+		for t := 0; t < outSeq; t++ {
+			a := x.Row(i*seq + 2*t)
+			b := x.Row(i*seq + 2*t + 1)
+			orow := out.Row(i*outSeq + t)
+			for j := range orow {
+				orow[j] = (a[j] + b[j]) / 2
+			}
+		}
+	}
+	s.tape = append(s.tape, poolCache{inSeq: seq, outSeq: outSeq, batch: n, width: h})
+	return out, outSeq
+}
+
+// Backward propagates dLoss/dLogits through the selected sub-network.
+func (s *Supernet) Backward(dLogits *tensor.Matrix) {
+	if s.lastBatch == nil {
+		panic("vitnet: Backward before Forward")
+	}
+	ar := s.lastArch
+	n := s.lastBatch.Size()
+
+	dPooled := s.head.Backward(dLogits)
+	h := dPooled.Cols
+	seq := s.headSeq
+	// Un-pool the mean over sequence.
+	grad := tensor.New(n*seq, h)
+	inv := 1 / float64(seq)
+	for i := 0; i < n; i++ {
+		prow := dPooled.Row(i)
+		for t := 0; t < seq; t++ {
+			row := grad.Row(i*seq + t)
+			for j := range row {
+				row[j] = prow[j] * inv
+			}
+		}
+	}
+
+	tapeIdx := len(s.tape) - 1
+	for b := len(ar.TFMBlocks) - 1; b >= 0; b-- {
+		blkArch := ar.TFMBlocks[b]
+		if blkArch.SeqPool && tapeIdx >= 0 {
+			pc := s.tape[tapeIdx]
+			tapeIdx--
+			grad, seq = s.unpool(grad, pc)
+		}
+		blk := s.blocks[b]
+		layers := blkArch.Layers
+		if layers > blk.maxLayer {
+			layers = blk.maxLayer
+		}
+		for l := layers - 1; l >= 0; l-- {
+			grad = s.backLayer(blk.layers[l], grad)
+		}
+		if b > 0 && ar.TFMBlocks[b-1].Hidden != blkArch.Hidden {
+			grad = s.trans[b-1].Backward(grad)
+			h = ar.TFMBlocks[b-1].Hidden
+		}
+	}
+	_ = h
+
+	// Positional embedding gradient plus token-table scatter.
+	hAct := grad.Cols
+	for i := 0; i < n; i++ {
+		for t := 0; t < s.seqLen; t++ {
+			row := grad.Row(i*s.seqLen + t)
+			prow := s.pos.Grad.Row(t)[:hAct]
+			for j := range row {
+				prow[j] += row[j]
+			}
+		}
+	}
+	s.tokens.Backward(grad)
+}
+
+// backLayer inverts runLayer. The FFN branch gradient flows through
+// LN1→FFN and adds to the residual path; then the attention branch.
+func (s *Supernet) backLayer(slot *layerSlot, grad *tensor.Matrix) *tensor.Matrix {
+	dFFN := slot.ffnUp.Backward(slot.act.Backward(slot.ffnDown.Backward(grad)))
+	dY := tensor.Add(grad, slot.ln1.Backward(dFFN))
+	dAttn := slot.ln0.Backward(slot.attn.Backward(dY))
+	return tensor.Add(dY, dAttn)
+}
+
+// unpool inverts the adjacent-pair average.
+func (s *Supernet) unpool(grad *tensor.Matrix, pc poolCache) (*tensor.Matrix, int) {
+	out := tensor.New(pc.batch*pc.inSeq, pc.width)
+	for i := 0; i < pc.batch; i++ {
+		for t := 0; t < pc.outSeq; t++ {
+			g := grad.Row(i*pc.outSeq + t)
+			a := out.Row(i*pc.inSeq + 2*t)
+			b := out.Row(i*pc.inSeq + 2*t + 1)
+			for j := range g {
+				a[j] = g[j] / 2
+				b[j] = g[j] / 2
+			}
+		}
+	}
+	return out, pc.inSeq
+}
+
+// Loss runs Forward and returns the BCE loss and logits gradient.
+func (s *Supernet) Loss(a space.Assignment, batch *datapipe.SeqBatch) (float64, *tensor.Matrix) {
+	logits := s.Forward(a, batch)
+	return nn.BCEWithLogits{}.Eval(logits, batch.Labels)
+}
+
+// Quality is 1 − logloss/ln 2 on the batch (forward only).
+func (s *Supernet) Quality(a space.Assignment, batch *datapipe.SeqBatch) float64 {
+	loss, _ := s.Loss(a, batch)
+	return 1 - loss/math.Ln2
+}
+
+func actFromName(name string) nn.Activation {
+	switch name {
+	case "relu":
+		return nn.ReLU
+	case "swish":
+		return nn.Swish
+	case "gelu":
+		return nn.GeLU
+	case "squared_relu":
+		return nn.SquaredReLU
+	default:
+		return nn.GeLU
+	}
+}
+
+func rankFor(frac float64, h int) int {
+	if frac >= 1 {
+		return h
+	}
+	r := int(math.Round(frac * float64(h)))
+	if r < 8 {
+		r = 8
+	}
+	if r > h {
+		r = h
+	}
+	return r
+}
+
+func maxOption(sp *space.Space, name string) int {
+	d := sp.Decisions[sp.Lookup(name)]
+	best := d.Values[0]
+	for _, v := range d.Values {
+		if v > best {
+			best = v
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,58 @@
+package h2onas
+
+import (
+	"h2onas/internal/models"
+	"h2onas/internal/quality"
+)
+
+// Model zoo (Section 7.1): the open-sourced CoAtNet-H and EfficientNet-H
+// families with their baselines, the Figure 8 DLRM pair, and the Figure 10
+// production population.
+type (
+	// CoAtNetSpec is one CoAtNet-style hybrid model.
+	CoAtNetSpec = models.CoAtNetSpec
+	// ENetSpec is one EfficientNet-style convolutional model.
+	ENetSpec = models.ENetSpec
+	// ProductionModel is one entry of the production fleet.
+	ProductionModel = models.ProductionModel
+)
+
+var (
+	// CoAtNet returns baseline variant i (0–5).
+	CoAtNet = models.CoAtNet
+	// CoAtNetH returns the H₂O-NAS-optimized variant i.
+	CoAtNetH = models.CoAtNetH
+	// EfficientNetX returns baseline variant i (B0–B7).
+	EfficientNetX = models.EfficientNetX
+	// EfficientNetH returns the H₂O-NAS-optimized variant i.
+	EfficientNetH = models.EfficientNetH
+	// BaselineDLRM returns the Figure 8 baseline architecture.
+	BaselineDLRM = models.BaselineDLRM
+	// DLRMH returns the Figure 8 optimized architecture.
+	DLRMH = models.DLRMH
+	// ProductionShapeDLRMConfig is the Figure 8 baseline configuration.
+	ProductionShapeDLRMConfig = models.ProductionShapeDLRMConfig
+	// ProductionFleet returns the Figure 10 model population.
+	ProductionFleet = models.ProductionFleet
+)
+
+// Accuracy model (the calibrated substitute for ImageNet/JFT training).
+type (
+	// VisionTraits are the accuracy model's inputs.
+	VisionTraits = quality.Traits
+	// Dataset identifies the pre-training corpus.
+	Dataset = quality.Dataset
+)
+
+const (
+	// ImageNet1K is the small-data regime.
+	ImageNet1K = quality.ImageNet1K
+	// ImageNet21K is the medium-data regime.
+	ImageNet21K = quality.ImageNet21K
+	// JFT300M is the large-data regime.
+	JFT300M = quality.JFT300M
+)
+
+// VisionAccuracy returns the calibrated top-1 accuracy for traits on a
+// dataset.
+var VisionAccuracy = quality.Accuracy
