@@ -20,12 +20,15 @@ import (
 	"time"
 
 	"h2onas/internal/experiments"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/metrics"
 )
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs (fig4, fig5, table1, table2, fig6, table3, fig7, fig8, table4, fig9, fig10, table5) or 'all'")
 	scaleName := flag.String("scale", "full", "computation budget: smoke, quick, or full")
 	csvDir := flag.String("csv", "", "also write each report's table as <dir>/<id>.csv")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (simulator-call counts/latency) to this file at exit")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -74,9 +77,22 @@ func main() {
 		}
 	}
 
+	// Instrument the simulator for the whole run; each experiment's
+	// wall time is reported per run, and the registry accumulates the
+	// cross-cutting simulator-call telemetry underneath.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+		hwsim.SetMetrics(reg)
+	}
+	expTime := reg.Histogram("experiment_run_seconds")
+	expRuns := reg.Counter("experiment_runs_total")
+
 	for _, r := range runners {
 		start := time.Now()
 		report := r.Run(scale)
+		expTime.ObserveSince(start)
+		expRuns.Inc()
 		fmt.Println(report.String())
 		fmt.Printf("(%s reproduced %s in %v at %s scale)\n\n", r.ID, r.Artifact, time.Since(start).Round(time.Millisecond), *scaleName)
 		if *csvDir != "" {
@@ -85,6 +101,21 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"h2onas/internal/core"
 	"h2onas/internal/datapipe"
 	"h2onas/internal/hwsim"
+	"h2onas/internal/metrics"
 	"h2onas/internal/quality"
 	"h2onas/internal/reward"
 	"h2onas/internal/space"
@@ -41,7 +42,19 @@ func main() {
 	chipFile := flag.String("chip-file", "", "load a custom chip configuration (JSON, see hwsim.SaveChip) instead of -chip")
 	seed := flag.Uint64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-step progress")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file after the search")
+	noMetrics := flag.Bool("no-metrics", false, "disable the observability layer (skips the end-of-run summary)")
 	flag.Parse()
+
+	// The registry instruments every layer of the run: the search loop,
+	// the controller, the data pipeline and the simulator. It prints as a
+	// summary table at exit and optionally persists via -metrics-out.
+	reg := metrics.New()
+	if *noMetrics {
+		reg = metrics.Nop()
+	}
+	hwsim.SetMetrics(reg)
+	searchMetrics = reg
 
 	chip, err := resolveChip(*chipName, *chipFile)
 	if err != nil {
@@ -66,6 +79,32 @@ func main() {
 	default:
 		fatalf("unknown domain %q (want dlrm, cnn, vit, or nlp)", *domain)
 	}
+
+	if summary := reg.Summary(); summary != "" {
+		fmt.Printf("\n— run metrics —\n%s", summary)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(reg, *metricsOut); err != nil {
+			fatalf("writing metrics snapshot: %v", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+}
+
+// searchMetrics is the run-wide registry handed to every search config.
+var searchMetrics *metrics.Registry
+
+// writeMetricsSnapshot persists the registry as indented JSON.
+func writeMetricsSnapshot(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runNLP searches the pure transformer space with a live weight-sharing
@@ -93,6 +132,7 @@ func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
 		WeightLR:   0.003,
 		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
 		Seed:       seed,
+		Metrics:    searchMetrics,
 	}
 	if verbose {
 		cfg.Progress = progress
@@ -122,6 +162,7 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 		WeightLR:   0.003,
 		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
 		Seed:       seed,
+		Metrics:    searchMetrics,
 	}
 	if verbose {
 		opts.Progress = progress
@@ -200,6 +241,7 @@ func runVision(domain string, chip h2onas.Chip, kind reward.Kind, latency float6
 		Shards: shards, Steps: steps,
 		Controller: controller.Config{LearningRate: 0.1, BaselineMomentum: 0.9, EntropyWeight: 2e-3},
 		Seed:       seed,
+		Metrics:    searchMetrics,
 	}
 	if verbose {
 		cfg.Progress = progress

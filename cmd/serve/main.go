@@ -7,18 +7,27 @@
 //
 //	serve -model efficientnet-b5 -chip tpuv4i -p99 10ms
 //	serve -model dlrm -p99 2ms
+//	serve -model dlrm -listen :8080     # HTTP mode with /metrics
+//
+// With -listen, serve stays up as an HTTP server: /simulate runs
+// simulations on demand, /metrics exposes the process's instruments in
+// Prometheus text format (or JSON with ?format=json / Accept:
+// application/json), and /healthz answers liveness probes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"h2onas/internal/arch"
 	"h2onas/internal/hwsim"
+	"h2onas/internal/metrics"
 	"h2onas/internal/models"
 	"h2onas/internal/space"
 )
@@ -27,7 +36,11 @@ func main() {
 	model := flag.String("model", "efficientnet-b5", "model to serve (see cmd/inspect -list)")
 	chipName := flag.String("chip", "tpuv4i", "chip: tpuv4, tpuv4i, v100")
 	p99 := flag.Duration("p99", 10*time.Millisecond, "P99 latency target")
+	listen := flag.String("listen", "", "serve HTTP on this address (e.g. :8080) with /metrics, /simulate and /healthz")
 	flag.Parse()
+
+	reg := metrics.New()
+	hwsim.SetMetrics(reg)
 
 	chip, ok := hwsim.ChipByName(*chipName)
 	if !ok {
@@ -36,6 +49,11 @@ func main() {
 	build, err := builderFor(*model)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *listen != "" {
+		runServer(*listen, reg, chip)
+		return
 	}
 
 	fmt.Printf("%s on %s, P99 target %v\n\n", *model, chip.Name, *p99)
@@ -68,6 +86,89 @@ func main() {
 	}
 	fmt.Printf("\nbest configuration: batch %d sustaining %.0f QPS within the %v P99 target\n",
 		bestBatch, bestQPS, *p99)
+}
+
+// runServer serves the observability endpoints plus on-demand simulation:
+//
+//	GET /metrics                          Prometheus text (or JSON with
+//	                                      ?format=json / Accept: application/json)
+//	GET /simulate?model=M&chip=C&batch=N  simulate one configuration
+//	GET /healthz                          liveness
+//
+// Every /simulate call flows through the instrumented hwsim.Simulate, so
+// /metrics reflects live request traffic: request counts and latencies
+// per endpoint plus the simulator-call histograms underneath.
+func runServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip) {
+	requests := reg.Counter("http_requests_total")
+	errors := reg.Counter("http_request_errors_total")
+	simLatency := reg.Histogram("http_simulate_seconds")
+	inflight := reg.Gauge("http_inflight_requests")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		wantJSON := r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		defer simLatency.Start().End()
+
+		q := r.URL.Query()
+		chip := defaultChip
+		if name := q.Get("chip"); name != "" {
+			c, ok := hwsim.ChipByName(name)
+			if !ok {
+				errors.Inc()
+				http.Error(w, fmt.Sprintf("unknown chip %q", name), http.StatusBadRequest)
+				return
+			}
+			chip = c
+		}
+		modelName := q.Get("model")
+		if modelName == "" {
+			errors.Inc()
+			http.Error(w, "missing model parameter", http.StatusBadRequest)
+			return
+		}
+		build, err := builderFor(modelName)
+		if err != nil {
+			errors.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch := 1
+		if s := q.Get("batch"); s != "" {
+			if batch, err = strconv.Atoi(s); err != nil || batch < 1 {
+				errors.Inc()
+				http.Error(w, "batch must be a positive integer", http.StatusBadRequest)
+				return
+			}
+		}
+		res := hwsim.Simulate(build(batch), chip, hwsim.Options{Mode: hwsim.Inference})
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"model":%q,"chip":%q,"batch":%d,"step_time_s":%g,"power_w":%g,"energy_j":%g,"qps":%g}`+"\n",
+			modelName, chip.Name, batch, res.StepTime, res.Power, res.Energy,
+			float64(batch)/res.StepTime)
+	})
+
+	fmt.Printf("serving /metrics, /simulate and /healthz on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fatalf("http server: %v", err)
+	}
 }
 
 // builderFor resolves a model name to a batch-parametric graph builder.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"h2onas/internal/metrics"
 	"h2onas/internal/nn"
 	"h2onas/internal/space"
 	"h2onas/internal/tensor"
@@ -128,6 +129,13 @@ type Controller struct {
 	Policy *Policy
 	Config Config
 
+	// Metrics, when non-nil, receives per-update telemetry: the update
+	// count, the EMA baseline, and the KL divergence KL(π_old ‖ π_new) of
+	// each policy step — the policy-movement trend that, together with
+	// entropy, diagnoses collapse (KL spikes) and stalls (KL ≈ 0 with
+	// high entropy). KL is only computed when Metrics is enabled.
+	Metrics *metrics.Registry
+
 	baseline    float64
 	baselineSet bool
 	steps       int
@@ -173,6 +181,7 @@ func (c *Controller) Update(samples []space.Assignment, rewards []float64) {
 
 	lr := c.Config.LearningRate
 	scale := lr / float64(len(samples))
+	var kl float64
 	for d := range c.Policy.Logits {
 		probs := c.Policy.Probs(d)
 		grad := make([]float64, len(probs))
@@ -203,9 +212,25 @@ func (c *Controller) Update(samples []space.Assignment, rewards []float64) {
 				}
 			}
 		}
+		if c.Metrics.Enabled() {
+			// probs still holds π_old for this decision; the logits have
+			// just been stepped, so Probs(d) is π_new.
+			next := c.Policy.Probs(d)
+			for j, p := range probs {
+				if p > 0 && next[j] > 0 {
+					kl += p * math.Log(p/next[j])
+				}
+			}
+		}
 	}
 	// Baseline updates after the policy step, using this step's mean.
 	m := c.Config.BaselineMomentum
 	c.baseline = m*c.baseline + (1-m)*mean
 	c.steps++
+	if c.Metrics.Enabled() {
+		c.Metrics.Counter("controller_updates_total").Inc()
+		c.Metrics.Gauge("controller_baseline").Set(c.baseline)
+		c.Metrics.Gauge("controller_update_kl").Set(kl)
+		c.Metrics.Histogram("controller_update_kl_nats").Observe(kl)
+	}
 }

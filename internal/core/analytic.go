@@ -45,12 +45,16 @@ func (s *AnalyticSearcher) Search(cfg Config) (*AnalyticResult, error) {
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	ctrl := controller.New(s.Space, cfg.Controller)
+	ctrl.Metrics = cfg.Metrics
+	sm := NewSearchMetrics(cfg.Metrics)
 	res := &AnalyticResult{}
 
 	assignments := make([]space.Assignment, cfg.Shards)
 	rewards := make([]float64, cfg.Shards)
 	for step := 0; step < cfg.Steps; step++ {
+		stepSpan := sm.StepTime.Start()
 		var sumR, sumQ float64
+		evalSpan := sm.FanoutTime.Start()
 		for i := 0; i < cfg.Shards; i++ {
 			a := ctrl.Policy.Sample(rng)
 			q := s.Quality(a)
@@ -64,7 +68,11 @@ func (s *AnalyticSearcher) Search(cfg Config) (*AnalyticResult, error) {
 				Quality: q, Perf: perf, Reward: r,
 			})
 		}
+		evalSpan.End()
+		sm.Candidates.Add(int64(cfg.Shards))
+		policySpan := sm.PolicyTime.Start()
 		ctrl.Update(assignments, rewards)
+		policySpan.End()
 		info := StepInfo{
 			Step:       step,
 			MeanReward: sumR / float64(cfg.Shards),
@@ -73,9 +81,11 @@ func (s *AnalyticSearcher) Search(cfg Config) (*AnalyticResult, error) {
 			Confidence: ctrl.Policy.Confidence(),
 		}
 		res.History = append(res.History, info)
+		sm.RecordStep(info)
 		if cfg.Progress != nil {
 			cfg.Progress(info)
 		}
+		stepSpan.End()
 	}
 	res.Best = ctrl.Policy.MostProbable()
 	res.BestQuality = s.Quality(res.Best)

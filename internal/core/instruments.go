@@ -1,0 +1,64 @@
+package core
+
+import "h2onas/internal/metrics"
+
+// SearchMetrics bundles the search-loop instruments, resolved once per
+// run so the step loop never does a name lookup. All fields are nil-safe
+// no-ops when resolved from the nop registry, so callers use them
+// unconditionally. The same instrument names are shared by every search
+// flavour (core.Searcher, core.AnalyticSearcher, vitnet.Searcher) so
+// dashboards and snapshot diffs are uniform across domains.
+type SearchMetrics struct {
+	// Per-phase timing histograms (seconds).
+	StepTime    *metrics.Histogram // one full search step
+	ShardTime   *metrics.Histogram // one shard's forward/backward work
+	SampleTime  *metrics.Histogram // candidate sampling + batch draw
+	FanoutTime  *metrics.Histogram // the parallel shard fan-out barrier
+	PolicyTime  *metrics.Histogram // cross-shard REINFORCE update
+	WeightsTime *metrics.Histogram // gradient reduce + optimizer step
+
+	// Quality/convergence trend gauges, refreshed every step.
+	Reward          *metrics.Gauge
+	Quality         *metrics.Gauge
+	Entropy         *metrics.Gauge
+	Confidence      *metrics.Gauge
+	WarmupRemaining *metrics.Gauge
+
+	// Volume counters.
+	Steps       *metrics.Counter
+	WarmupSteps *metrics.Counter
+	Candidates  *metrics.Counter
+	Examples    *metrics.Counter
+}
+
+// NewSearchMetrics resolves the search instruments from r (nil/nop safe).
+func NewSearchMetrics(r *metrics.Registry) SearchMetrics {
+	return SearchMetrics{
+		StepTime:    r.Histogram("search_step_seconds"),
+		ShardTime:   r.Histogram("search_shard_step_seconds"),
+		SampleTime:  r.Histogram("search_phase_sample_seconds"),
+		FanoutTime:  r.Histogram("search_phase_fanout_seconds"),
+		PolicyTime:  r.Histogram("search_phase_policy_update_seconds"),
+		WeightsTime: r.Histogram("search_phase_weight_update_seconds"),
+
+		Reward:          r.Gauge("search_mean_reward"),
+		Quality:         r.Gauge("search_mean_quality"),
+		Entropy:         r.Gauge("search_entropy"),
+		Confidence:      r.Gauge("search_confidence"),
+		WarmupRemaining: r.Gauge("search_warmup_remaining"),
+
+		Steps:       r.Counter("search_steps_total"),
+		WarmupSteps: r.Counter("search_warmup_steps_total"),
+		Candidates:  r.Counter("search_candidates_total"),
+		Examples:    r.Counter("search_examples_total"),
+	}
+}
+
+// RecordStep publishes one step's trend telemetry.
+func (m SearchMetrics) RecordStep(info StepInfo) {
+	m.Steps.Inc()
+	m.Reward.Set(info.MeanReward)
+	m.Quality.Set(info.MeanQ)
+	m.Entropy.Set(info.Entropy)
+	m.Confidence.Set(info.Confidence)
+}

@@ -25,6 +25,7 @@ import (
 
 	"h2onas/internal/controller"
 	"h2onas/internal/datapipe"
+	"h2onas/internal/metrics"
 	"h2onas/internal/nn"
 	"h2onas/internal/reward"
 	"h2onas/internal/space"
@@ -63,6 +64,11 @@ type Config struct {
 	DisableSandwich bool
 	// Progress, when non-nil, receives per-step telemetry.
 	Progress func(StepInfo)
+	// Metrics, when non-nil, receives counters, gauges and per-phase
+	// timing histograms from the search loop (and is propagated to the
+	// controller and data pipeline). nil — equivalently metrics.Nop() —
+	// keeps the hot path free of observability overhead.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns search hyperparameters suitable for the small DLRM
@@ -152,9 +158,11 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		replicas[i] = master.Replicate(rng.Split())
 	}
 	ctrl := controller.New(s.DS.Space, cfg.Controller)
+	ctrl.Metrics = cfg.Metrics
 	opt := nn.NewAdam(cfg.WeightLR)
-	pipe := datapipe.NewPipeline(s.Stream, cfg.BatchSize, cfg.Shards*2)
+	pipe := datapipe.NewPipelineWithMetrics(s.Stream, cfg.BatchSize, cfg.Shards*2, cfg.Metrics)
 	defer pipe.Close()
+	sm := NewSearchMetrics(cfg.Metrics)
 
 	res := &Result{}
 	assignments := make([]space.Assignment, cfg.Shards)
@@ -164,6 +172,14 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	maxA := maxAssignment(s.DS.Space)
 	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
+		stepSpan := sm.StepTime.Start()
+		if warmup {
+			sm.WarmupSteps.Inc()
+			sm.WarmupRemaining.Set(float64(cfg.WarmupSteps - step))
+		} else {
+			sm.WarmupRemaining.Set(0)
+		}
+		sampleSpan := sm.SampleTime.Start()
 		// Sampling and batch draw happen on the coordinator so runs are
 		// reproducible; the heavy forward/backward fans out per shard.
 		for i := 0; i < cfg.Shards; i++ {
@@ -185,12 +201,15 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			}
 			batches[i] = pipe.Next()
 		}
+		sampleSpan.End()
 
+		fanoutSpan := sm.FanoutTime.Start()
 		var wg sync.WaitGroup
 		for i := 0; i < cfg.Shards; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				shardSpan := sm.ShardTime.Start()
 				b := batches[i]
 				// Stage 1: fresh data is consumed by architecture
 				// learning first…
@@ -201,14 +220,17 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				// same batch and candidate.
 				b.UseForWeights()
 				replicas[i].Backward(dout)
+				shardSpan.End()
 			}(i)
 		}
 		wg.Wait()
+		fanoutSpan.End()
 
 		// Stage 2: cross-shard policy update from (Q, T) → R. The
 		// sandwich shard trains weights only; its fixed candidate would
 		// bias REINFORCE, so it is excluded from the update.
 		if !warmup {
+			policySpan := sm.PolicyTime.Start()
 			first := 0
 			if !cfg.DisableSandwich && cfg.Shards > 1 {
 				first = 1
@@ -229,13 +251,17 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				})
 			}
 			ctrl.Update(policySamples, rewards)
+			sm.Candidates.Add(int64(len(policySamples)))
+			policySpan.End()
 		}
 
 		// Stage 3 (cross-shard): reduce replica gradients and step W.
+		weightsSpan := sm.WeightsTime.Start()
 		supernet.ReduceGrads(master, replicas)
 		nn.ClipGradNorm(master.Params(), 10)
 		opt.Step(master.Params())
 		nn.ZeroGrads(master.Params())
+		weightsSpan.End()
 
 		if !warmup {
 			perStep := cfg.Shards
@@ -250,10 +276,12 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				Confidence: ctrl.Policy.Confidence(),
 			}
 			res.History = append(res.History, info)
+			sm.RecordStep(info)
 			if cfg.Progress != nil {
 				cfg.Progress(info)
 			}
 		}
+		stepSpan.End()
 	}
 
 	res.Best = ctrl.Policy.MostProbable()
@@ -265,6 +293,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	final.UseForArch()
 	res.FinalQuality = master.Quality(res.Best, final)
 	res.ExamplesSeen = s.Stream.ExamplesServed()
+	sm.Examples.Add(res.ExamplesSeen)
 	return res, nil
 }
 

@@ -89,6 +89,9 @@ func TestSearchDeterministicForSeed(t *testing.T) {
 }
 
 func TestSearchImprovesRewardOverTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long convergence run; the fan-out is race-checked by the faster search tests")
+	}
 	s, _ := testSearcher(t, reward.ReLU, 1.0, 2)
 	cfg := fastConfig(2)
 	cfg.Steps = 120
@@ -122,6 +125,9 @@ func TestSearchConvergesPolicy(t *testing.T) {
 }
 
 func TestTightLatencyTargetYieldsFasterModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full searches; the fan-out is race-checked by the faster search tests")
+	}
 	// The multi-objective machinery end to end: a search with a tight
 	// step-time target must find a faster architecture than one with a
 	// loose target.

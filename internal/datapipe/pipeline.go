@@ -3,6 +3,8 @@ package datapipe
 import (
 	"sync"
 	"sync/atomic"
+
+	"h2onas/internal/metrics"
 )
 
 // Pipeline is the bounded, purely in-memory buffer between the traffic
@@ -20,11 +22,25 @@ type Pipeline struct {
 	closed   sync.Once
 	wg       sync.WaitGroup
 	consumed int64
+
+	// Instruments (nil-safe no-ops when built without a registry).
+	produceTime *metrics.Histogram // generator latency per batch
+	waitTime    *metrics.Histogram // consumer blocking time in Next
+	occupancy   *metrics.Gauge     // buffered batches after each handoff
+	produced    *metrics.Counter
+	consumedCtr *metrics.Counter
 }
 
 // NewPipeline starts producing batches of batchSize into a buffer holding
 // up to depth batches.
 func NewPipeline(stream *Stream, batchSize, depth int) *Pipeline {
+	return NewPipelineWithMetrics(stream, batchSize, depth, nil)
+}
+
+// NewPipelineWithMetrics is NewPipeline with observability: batch
+// production latency, consumer wait time, buffer occupancy and batch
+// counters are recorded into r. A nil (nop) registry costs nothing.
+func NewPipelineWithMetrics(stream *Stream, batchSize, depth int, r *metrics.Registry) *Pipeline {
 	if depth < 1 {
 		depth = 1
 	}
@@ -33,6 +49,12 @@ func NewPipeline(stream *Stream, batchSize, depth int) *Pipeline {
 		batchSize: batchSize,
 		ch:        make(chan *Batch, depth),
 		done:      make(chan struct{}),
+
+		produceTime: r.Histogram("datapipe_produce_seconds"),
+		waitTime:    r.Histogram("datapipe_next_wait_seconds"),
+		occupancy:   r.Gauge("datapipe_buffer_occupancy"),
+		produced:    r.Counter("datapipe_batches_produced_total"),
+		consumedCtr: r.Counter("datapipe_batches_consumed_total"),
 	}
 	p.wg.Add(1)
 	go p.produce()
@@ -42,9 +64,13 @@ func NewPipeline(stream *Stream, batchSize, depth int) *Pipeline {
 func (p *Pipeline) produce() {
 	defer p.wg.Done()
 	for {
+		span := p.produceTime.Start()
 		b := p.stream.NextBatch(p.batchSize)
+		span.End()
 		select {
 		case p.ch <- b:
+			p.produced.Inc()
+			p.occupancy.Set(float64(len(p.ch)))
 		case <-p.done:
 			return
 		}
@@ -54,15 +80,21 @@ func (p *Pipeline) produce() {
 // Next returns the next fresh batch, blocking until one is buffered.
 // It returns nil after Close.
 func (p *Pipeline) Next() *Batch {
+	span := p.waitTime.Start()
 	select {
 	case b := <-p.ch:
+		span.End()
 		atomic.AddInt64(&p.consumed, 1)
+		p.consumedCtr.Inc()
+		p.occupancy.Set(float64(len(p.ch)))
 		return b
 	case <-p.done:
+		span.End()
 		// Drain any batch raced into the buffer before the close.
 		select {
 		case b := <-p.ch:
 			atomic.AddInt64(&p.consumed, 1)
+			p.consumedCtr.Inc()
 			return b
 		default:
 			return nil

@@ -17,6 +17,9 @@ import (
 // has double-digit NRMSE against Measure data, while fine-tuning on O(20)
 // Measure samples recovers 1–3 %.
 func Measure(g *arch.Graph, chip Chip, opts Options, seed uint64) Result {
+	if ins := simInstruments.Load(); ins != nil {
+		ins.measureCalls.Inc()
+	}
 	r := Simulate(g, chip, opts)
 	warp := gapFactor(g, chip)
 	noise := 1 + 0.01*signedHashUnit(hashGraph(g)^seed)

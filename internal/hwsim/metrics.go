@@ -1,0 +1,37 @@
+package hwsim
+
+import (
+	"sync/atomic"
+
+	"h2onas/internal/metrics"
+)
+
+// Simulate and Measure are pure functions threaded through every layer of
+// the system (search objectives, serving analysis, experiments), so their
+// observability hook is package-level: SetMetrics installs a registry and
+// every subsequent simulator call records its latency and count. The
+// instruments are resolved once at install time and swapped atomically,
+// so concurrent Simulate calls read a consistent set and the uninstalled
+// path costs a single atomic pointer load.
+var simInstruments atomic.Pointer[simMetrics]
+
+type simMetrics struct {
+	simCalls     *metrics.Counter
+	simLatency   *metrics.Histogram
+	measureCalls *metrics.Counter
+}
+
+// SetMetrics installs (or, with nil, removes) the registry receiving
+// simulator-call telemetry: hwsim_simulate_calls_total,
+// hwsim_simulate_seconds and hwsim_measure_calls_total.
+func SetMetrics(r *metrics.Registry) {
+	if !r.Enabled() {
+		simInstruments.Store(nil)
+		return
+	}
+	simInstruments.Store(&simMetrics{
+		simCalls:     r.Counter("hwsim_simulate_calls_total"),
+		simLatency:   r.Histogram("hwsim_simulate_seconds"),
+		measureCalls: r.Counter("hwsim_measure_calls_total"),
+	})
+}

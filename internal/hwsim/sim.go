@@ -141,6 +141,10 @@ const vpuEfficiency = 0.8
 
 // Simulate walks the graph and returns the per-chip step cost under opts.
 func Simulate(g *arch.Graph, chip Chip, opts Options) Result {
+	if ins := simInstruments.Load(); ins != nil {
+		ins.simCalls.Inc()
+		defer ins.simLatency.Start().End()
+	}
 	if err := g.Validate(); err != nil {
 		panic(fmt.Sprintf("hwsim: %v", err))
 	}

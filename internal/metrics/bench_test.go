@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The Nop-overhead contract: instruments from Nop() must cost no more
+// than a nil check — sub-nanosecond per call — so the zero-config search
+// path is unaffected by the observability layer. Compare the *Nop
+// benchmarks against BenchmarkBaselineAtomicAdd (the cost a live counter
+// pays) to see the gap.
+
+var sinkInt64 atomic.Int64
+
+func BenchmarkBaselineAtomicAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkInt64.Add(1)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNop(b *testing.B) {
+	c := Nop().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := New().Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkGaugeSetNop(b *testing.B) {
+	g := Nop().Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00123)
+	}
+}
+
+func BenchmarkHistogramObserveNop(b *testing.B) {
+	h := Nop().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00123)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := New().Histogram("h")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.00123)
+		}
+	})
+}
+
+func BenchmarkSpan(b *testing.B) {
+	h := New().Histogram("h_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}
+
+// BenchmarkSpanNop is the headline zero-overhead number: a span on a nop
+// histogram must not even read the clock.
+func BenchmarkSpanNop(b *testing.B) {
+	h := Nop().Histogram("h_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	h := New().Histogram("h")
+	for i := 1; i <= 100000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := New()
+	for i := 0; i < 8; i++ {
+		r.Counter(string(rune('a' + i))).Inc()
+		r.Histogram(string(rune('p'+i)) + "_seconds").Observe(0.01)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-spaced buckets with growth 2^(1/8)
+// (≈ ±4.4 % relative quantile error), covering [2^-30, 2^30) ≈ [1e-9,
+// 1e9) — nanoseconds to ~30 years when observing seconds, and a
+// comparably generous span for dimensionless values. Observations below
+// the range (including ≤ 0) land in the underflow bucket, above it in
+// the overflow bucket; exact min/max/sum/count are tracked separately so
+// the tails stay honest.
+const (
+	histSubBuckets = 8   // buckets per octave
+	histMinExp     = -30 // smallest octave: 2^-30
+	histMaxExp     = 30  // first octave past the range
+	histBuckets    = histSubBuckets * (histMaxExp - histMinExp)
+	histUnderflow  = histBuckets     // index of the underflow bucket
+	histOverflow   = histBuckets + 1 // index of the overflow bucket
+)
+
+// invLogGrowth is 1/ln(2^(1/8)): multiplying ln(v) by it yields the
+// bucket index before biasing.
+var invLogGrowth = float64(histSubBuckets) / math.Ln2
+
+// Histogram is a goroutine-safe log-bucketed histogram with quantile
+// summaries. Observe is a few atomic operations and never allocates.
+// All methods are safe on a nil receiver (no-ops / zero results).
+type Histogram struct {
+	counts  [histBuckets + 2]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64 // stored as Float64bits; +Inf when empty
+	maxBits atomic.Uint64 // -Inf when empty
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return histUnderflow
+	}
+	idx := int(math.Floor(math.Log(v)*invLogGrowth)) - histMinExp*histSubBuckets
+	if idx < 0 {
+		return histUnderflow
+	}
+	if idx >= histBuckets {
+		return histOverflow
+	}
+	return idx
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func bucketUpper(i int) float64 {
+	return math.Exp(float64(i+1+histMinExp*histSubBuckets) / invLogGrowth)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]), accurate
+// to the ±4.4 % bucket resolution and clamped to the observed [min, max].
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	min, max := h.Min(), h.Max()
+	var cum int64
+	// Underflow bucket first: those are the smallest observations.
+	cum += h.counts[histUnderflow].Load()
+	if cum >= rank {
+		return min
+	}
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			return clamp(bucketUpper(i), min, max)
+		}
+	}
+	return max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Span is an in-flight timing measurement. The zero Span (from a nil
+// histogram or registry) is free: it records nothing and never reads the
+// clock.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins a span that End will record into h in seconds.
+func (h *Histogram) Start() Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start).Seconds())
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the manual form
+// of a Span for callers that already hold a start time.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot, summarised by its
+// moments and standard quantiles.
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name —
+// the JSON wire format of the /metrics endpoint and --metrics-out files.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the current value of every instrument. A nil registry
+// yields an empty (but valid) snapshot; the slices are never nil, so the
+// JSON form always has arrays, not nulls.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []CounterValue{},
+		Gauges:     []GaugeValue{},
+		Histograms: []HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range sortedNames(r.counters) {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as-is, histograms as
+// summaries with quantile labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", name, promFloat(h.P90))
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float without stray precision noise.
+func promFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// Summary renders a human-readable text table of every instrument — the
+// end-of-search report. Histogram rows show count, mean and quantiles;
+// durations (metrics named *_seconds) are scaled to a readable unit.
+// Returns "" on the nop registry, so callers can print it untested.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	s := r.Snapshot()
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmax\ttotal")
+		for _, h := range s.Histograms {
+			dur := strings.HasSuffix(h.Name, "_seconds")
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n", h.Name, h.Count,
+				fmtVal(h.Mean, dur), fmtVal(h.P50, dur), fmtVal(h.P90, dur),
+				fmtVal(h.P99, dur), fmtVal(h.Max, dur), fmtVal(h.Sum, dur))
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue\t\t\t\t\t\t")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%.6g\t\t\t\t\t\t\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue\t\t\t\t\t\t")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s\t%d\t\t\t\t\t\t\n", c.Name, c.Value)
+		}
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// fmtVal renders a scalar; durations get an adaptive unit.
+func fmtVal(v float64, duration bool) string {
+	if !duration {
+		return fmt.Sprintf("%.4g", v)
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-6:
+		return fmt.Sprintf("%.0fns", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.1fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", v)
+	}
+}

@@ -87,7 +87,7 @@ func TestMBConvBlocksTrainAtMultipleWidths(t *testing.T) {
 		var first, last float64
 		for step := 0; step < 250; step++ {
 			c := 2 + (step%2)*2 // alternate widths 2 and 4
-			e := 2 + (step%3)   // expansions 2..4
+			e := 2 + (step % 3) // expansions 2..4
 			x := tensor.RandN(4, h*w*c, 0.5, rng)
 			// Target: a fixed smooth function of the input.
 			y := tensor.Apply(x, func(v float64) float64 { return 0.5*v + 0.2*v*v })

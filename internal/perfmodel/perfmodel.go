@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"h2onas/internal/metrics"
 	"h2onas/internal/nn"
 	"h2onas/internal/tensor"
 )
@@ -54,6 +55,25 @@ type Model struct {
 	// Target standardization (log space), fixed at pretraining.
 	trainMean, trainStd float64
 	serveMean, serveStd float64
+
+	// Inference instruments (nil-safe no-ops until SetMetrics).
+	predictCalls   *metrics.Counter
+	predictLatency *metrics.Histogram
+	trainRuns      *metrics.Counter
+	trainLatency   *metrics.Histogram
+}
+
+// SetMetrics installs the registry receiving the model's telemetry:
+// perfmodel_predict_calls_total / perfmodel_predict_seconds for
+// inference, perfmodel_train_runs_total / perfmodel_train_seconds for
+// the two training phases. Call before sharing the model across
+// goroutines; a nil (nop) registry keeps Predict overhead at two nil
+// checks.
+func (m *Model) SetMetrics(r *metrics.Registry) {
+	m.predictCalls = r.Counter("perfmodel_predict_calls_total")
+	m.predictLatency = r.Histogram("perfmodel_predict_seconds")
+	m.trainRuns = r.Counter("perfmodel_train_runs_total")
+	m.trainLatency = r.Histogram("perfmodel_train_seconds")
 }
 
 // New builds an untrained model for featDim input features with the given
@@ -121,6 +141,8 @@ func (m *Model) train(samples []Sample, cfg TrainConfig) error {
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
 		return fmt.Errorf("perfmodel: invalid train config %+v", cfg)
 	}
+	m.trainRuns.Inc()
+	defer m.trainLatency.Start().End()
 	for _, s := range samples {
 		if len(s.Features) != m.featDim {
 			return fmt.Errorf("perfmodel: sample has %d features, model expects %d", len(s.Features), m.featDim)
@@ -160,6 +182,8 @@ func (m *Model) train(samples []Sample, cfg TrainConfig) error {
 // Predict returns (training time, serving time) in seconds for an
 // architecture's feature vector.
 func (m *Model) Predict(features []float64) (trainTime, serveTime float64) {
+	m.predictCalls.Inc()
+	defer m.predictLatency.Start().End()
 	if len(features) != m.featDim {
 		panic(fmt.Sprintf("perfmodel: %d features, model expects %d", len(features), m.featDim))
 	}

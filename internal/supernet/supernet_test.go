@@ -140,6 +140,9 @@ func TestGradCheckThroughSupernet(t *testing.T) {
 }
 
 func TestTrainingImprovesQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("single-threaded training loop; nothing for the race detector here")
+	}
 	ds, sn, stream := newSmall(t, 6)
 	a := ds.BaselineAssignment()
 	opt := nn.NewAdam(0.003)

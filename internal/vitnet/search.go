@@ -55,7 +55,9 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 		replicas[i] = master.Replicate(rng.Split())
 	}
 	ctrl := controller.New(s.VS.Space, cfg.Controller)
+	ctrl.Metrics = cfg.Metrics
 	opt := nn.NewAdam(cfg.WeightLR)
+	sm := core.NewSearchMetrics(cfg.Metrics)
 
 	res := &Result{}
 	assignments := make([]space.Assignment, cfg.Shards)
@@ -65,6 +67,14 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 
 	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
+		stepSpan := sm.StepTime.Start()
+		if warmup {
+			sm.WarmupSteps.Inc()
+			sm.WarmupRemaining.Set(float64(cfg.WarmupSteps - step))
+		} else {
+			sm.WarmupRemaining.Set(0)
+		}
+		sampleSpan := sm.SampleTime.Start()
 		for i := 0; i < cfg.Shards; i++ {
 			sandwich := !cfg.DisableSandwich && i == 0 && cfg.Shards > 1
 			if warmup && !cfg.DisableSandwich && i%2 == 0 {
@@ -77,23 +87,29 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 			}
 			batches[i] = s.Stream.NextBatch(cfg.BatchSize)
 		}
+		sampleSpan.End()
 
+		fanoutSpan := sm.FanoutTime.Start()
 		var wg sync.WaitGroup
 		for i := 0; i < cfg.Shards; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				shardSpan := sm.ShardTime.Start()
 				b := batches[i]
 				b.UseForArch()
 				loss, dout := replicas[i].Loss(assignments[i], b)
 				qualities[i] = 1 - loss/ln2
 				b.UseForWeights()
 				replicas[i].Backward(dout)
+				shardSpan.End()
 			}(i)
 		}
 		wg.Wait()
+		fanoutSpan.End()
 
 		if !warmup {
+			policySpan := sm.PolicyTime.Start()
 			first := 0
 			if !cfg.DisableSandwich && cfg.Shards > 1 {
 				first = 1
@@ -114,6 +130,8 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 				})
 			}
 			ctrl.Update(policySamples, rewards)
+			sm.Candidates.Add(int64(len(policySamples)))
+			policySpan.End()
 			res.History = append(res.History, core.StepInfo{
 				Step:       step - cfg.WarmupSteps,
 				MeanReward: meanReward(rewards),
@@ -121,15 +139,19 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 				Entropy:    ctrl.Policy.Entropy(),
 				Confidence: ctrl.Policy.Confidence(),
 			})
+			sm.RecordStep(res.History[len(res.History)-1])
 			if cfg.Progress != nil {
 				cfg.Progress(res.History[len(res.History)-1])
 			}
 		}
 
+		weightsSpan := sm.WeightsTime.Start()
 		ReduceGrads(master, replicas)
 		nn.ClipGradNorm(master.Params(), 10)
 		opt.Step(master.Params())
 		nn.ZeroGrads(master.Params())
+		weightsSpan.End()
+		stepSpan.End()
 	}
 
 	res.Best = ctrl.Policy.MostProbable()
@@ -139,6 +161,7 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 	final.UseForArch()
 	res.FinalQuality = master.Quality(res.Best, final)
 	res.ExamplesSeen = s.Stream.ExamplesServed()
+	sm.Examples.Add(res.ExamplesSeen)
 	return res, nil
 }
 
