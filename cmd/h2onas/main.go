@@ -44,6 +44,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-step progress")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file after the search")
 	noMetrics := flag.Bool("no-metrics", false, "disable the observability layer (skips the end-of-run summary)")
+	ckptDir := flag.String("checkpoint-dir", "", "write full-state search snapshots to this directory (dlrm)")
+	ckptEvery := flag.Int("checkpoint-every", 25, "snapshot every N search steps (with -checkpoint-dir)")
+	ckptRetain := flag.Int("checkpoint-retain", 3, "keep only the newest N snapshots (0 keeps all)")
+	resume := flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint-dir")
 	flag.Parse()
 
 	// The registry instruments every layer of the run: the search loop,
@@ -69,9 +73,18 @@ func main() {
 		fatalf("unknown reward %q (want relu or absolute)", *rewardKind)
 	}
 
+	ckpt := checkpointing{dir: *ckptDir, every: *ckptEvery, retain: *ckptRetain, resume: *resume}
+	if *resume && *ckptDir == "" {
+		fatalf("-resume requires -checkpoint-dir")
+	}
+	if ckpt.enabled() && *domain != "dlrm" {
+		fmt.Fprintf(os.Stderr, "warning: checkpointing is only wired into the dlrm domain; ignoring for %s\n", *domain)
+		ckpt = checkpointing{}
+	}
+
 	switch *domain {
 	case "dlrm":
-		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose)
+		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, ckpt)
 	case "cnn", "vit":
 		runVision(*domain, chip, kind, *latency, *steps, *shards, *seed, *verbose)
 	case "nlp":
@@ -148,8 +161,19 @@ func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
 		res.FinalQuality, res.BestPerf[0]*1e6, base[0]*latency*1e6)
 }
 
+// checkpointing carries the -checkpoint-*/-resume flags into the search
+// config.
+type checkpointing struct {
+	dir    string
+	every  int
+	retain int
+	resume bool
+}
+
+func (c checkpointing) enabled() bool { return c.dir != "" }
+
 func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
-	steps, shards, batch, warmup int, seed uint64, verbose bool) {
+	steps, shards, batch, warmup int, seed uint64, verbose bool, ckpt checkpointing) {
 
 	model := space.SmallDLRMConfig()
 	traffic := h2onas.TrafficConfig{
@@ -164,6 +188,12 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 		Seed:       seed,
 		Metrics:    searchMetrics,
 	}
+	if ckpt.enabled() {
+		opts.CheckpointDir = ckpt.dir
+		opts.CheckpointEvery = ckpt.every
+		opts.CheckpointRetain = ckpt.retain
+		opts.Resume = ckpt.resume
+	}
 	if verbose {
 		opts.Progress = progress
 	}
@@ -174,6 +204,9 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 		fatalf("search failed: %v", err)
 	}
 	ds := space.NewDLRMSpace(model)
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from checkpoint at step %d\n", res.ResumedFrom)
+	}
 	fmt.Printf("\nfinal architecture: %s\n", ds.Space.Describe(res.Best))
 	fmt.Printf("quality %.4f | train step %.0fµs | serving %.2fMB | examples consumed %d\n",
 		res.FinalQuality, res.BestPerf[0]*1e6, res.BestPerf[1]/1e6, res.ExamplesSeen)

@@ -25,6 +25,7 @@ package h2onas
 
 import (
 	"h2onas/internal/arch"
+	"h2onas/internal/checkpoint"
 	"h2onas/internal/core"
 	"h2onas/internal/datapipe"
 	"h2onas/internal/experiments"
@@ -129,6 +130,20 @@ type (
 // DefaultSearchConfig returns search hyperparameters suited to the small
 // DLRM configuration.
 var DefaultSearchConfig = core.DefaultConfig
+
+// Checkpointing (fault-tolerant search: periodic full-state snapshots
+// with bit-deterministic resume — set SearchConfig.CheckpointDir /
+// CheckpointEvery / Resume).
+type (
+	// CheckpointSnapshot is one complete search state.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointManager saves, lists and loads snapshot files.
+	CheckpointManager = checkpoint.Manager
+)
+
+// ErrNoCheckpoint is returned by CheckpointManager.LoadLatest when the
+// directory holds no loadable snapshot.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 
 // Hardware simulation (Section 6.2.3).
 type (

@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampleSnapshot builds a representative snapshot with every field
+// populated (including non-finite floats, which must round-trip bit-for-
+// bit).
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Step:            17,
+		BatchesConsumed: 51,
+		Fingerprint:     "core.Search/v1 space=test/3/abc shards=3 batch=16",
+		RNG:             0xdeadbeefcafef00d,
+		PolicyLogits:    [][]float64{{0.25, -1.5, 3}, {0, 0.125}},
+		Baseline:        0.375,
+		BaselineSet:     true,
+		CtrlSteps:       9,
+		Weights:         [][]float64{{1, 2, 3, 4}, {-0.5}, {math.Inf(1), math.SmallestNonzeroFloat64}},
+		AdamT:           17,
+		AdamM:           [][]float64{{0.1, 0.2, 0.3, 0.4}, {0}, {1e-300, -1e300}},
+		AdamV:           [][]float64{{1, 1, 1, 1}, {2}, {3, 4}},
+		History: []StepRecord{
+			{Step: 0, MeanReward: -0.25, MeanQ: 0.1, Entropy: 12.5, Confidence: 0.2},
+			{Step: 1, MeanReward: 0.5, MeanQ: 0.2, Entropy: 11, Confidence: 0.25},
+		},
+		CreatedAtUnix: 1754400000,
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data := EncodeBytes(s)
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+	// Encoding is deterministic: same snapshot, same bytes.
+	if !bytes.Equal(data, EncodeBytes(got)) {
+		t.Fatal("re-encoding a decoded snapshot produced different bytes")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+	data[0] ^= 0xff
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+	binary.LittleEndian.PutUint32(data[8:12], Version+1)
+	var fv *FutureVersionError
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.As(err, &fv) {
+		t.Fatalf("err = %v, want FutureVersionError", err)
+	}
+	if fv.Version != Version+1 {
+		t.Fatalf("reported version %d, want %d", fv.Version, Version+1)
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+	// Flipping any payload byte must trip the checksum; flipping header
+	// bytes must trip magic/version/length/CRC validation. A flip in the
+	// length field can make a valid-prefix read fail as truncated or
+	// trailing — any error is acceptable, silence is not. Stride keeps
+	// the test fast while still covering header and payload.
+	for i := 0; i < len(data); i += 7 {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x10
+		if _, err := Decode(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data := append(EncodeBytes(sampleSnapshot()), 0xAA)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+func TestDecodeRejectsImplausibleLength(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+	binary.LittleEndian.PutUint64(data[12:20], maxPayload+1)
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible payload length decoded without error")
+	}
+}
+
+func TestDecodeRejectsOversizedInnerLengths(t *testing.T) {
+	// A payload that declares a huge vector inside a small payload must
+	// fail on the bounds check, not allocate.
+	var e payloadEncoder
+	e.u64(1) // step
+	e.u64(0) // batches
+	e.u64(0) // created
+	e.u64(0) // rng
+	e.str("fp")
+	e.f64(0)
+	e.boolean(false)
+	e.u64(0)          // ctrl steps
+	e.u64(0)          // adam t
+	e.u32(1)          // one policy row...
+	e.u32(0xffffffff) // ...claiming 4 billion logits
+	payload := e.buf
+	var buf bytes.Buffer
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("oversized inner length decoded without error")
+	}
+}
+
+func TestDecodeEmptyAndShortInputs(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, []byte("H2O"), []byte(magic), append([]byte(magic), 1, 0, 0, 0)} {
+		if _, err := Decode(bytes.NewReader(in)); err == nil {
+			t.Fatalf("short input %q decoded without error", in)
+		}
+	}
+}

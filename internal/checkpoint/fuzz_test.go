@@ -1,0 +1,53 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the checkpoint loader.
+// The contract under fuzzing: Decode either returns an error or returns
+// a snapshot that re-encodes to exactly the input — it never panics,
+// never hangs, and never silently loads garbage. Seed corpus files live
+// in testdata/fuzz/FuzzDecodeSnapshot; run the full fuzzer with
+//
+//	go test -fuzz=FuzzDecodeSnapshot ./internal/checkpoint
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := EncodeBytes(sampleSnapshot())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // mid-payload truncation
+	f.Add(valid[:headerLen])    // header only
+	f.Add([]byte(magic))        // magic only
+	f.Add([]byte{})             // empty
+	f.Add([]byte("not a checkpoint at all, just prose"))
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen+3] ^= 0x40
+	f.Add(flipped) // payload bit flip → checksum failure
+	future := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(future[8:12], Version+7)
+	f.Add(future) // version from a newer build
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[12:20], maxPayload+1)
+	f.Add(huge) // implausible payload length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must be faithful: re-encoding reproduces the
+		// input byte-for-byte. bytes.Equal (not DeepEqual) keeps NaN
+		// payload bits honest.
+		if !bytes.Equal(EncodeBytes(s), data) {
+			t.Fatalf("decode succeeded but re-encoding differs from the %d-byte input", len(data))
+		}
+		s2, err := Decode(bytes.NewReader(EncodeBytes(s)))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded snapshot failed: %v", err)
+		}
+		if !bytes.Equal(EncodeBytes(s2), data) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package checkpoint
+
+// Snapshot is the complete state of a unified single-step search at a
+// step boundary. Restoring every field reproduces the uninterrupted run
+// bit-for-bit: the policy and its REINFORCE baseline, the shared
+// super-network weights and their Adam moments, the coordinator RNG
+// stream, the data-pipeline position (as a consumed-batch count, so a
+// fresh stream can be fast-forwarded past exactly the batches the
+// checkpointed run consumed), and the step counter.
+//
+// The Fingerprint ties a snapshot to the run configuration that produced
+// it (search space shape, shard count, batch size, warmup, seed): a
+// resume against a different configuration would silently diverge, so it
+// is refused instead.
+type Snapshot struct {
+	// Step is the next step index to execute, counting warmup steps.
+	Step int64
+	// BatchesConsumed is how many batches the search had drawn from the
+	// pipeline when the snapshot was taken.
+	BatchesConsumed int64
+	// Fingerprint identifies the run configuration (see core's
+	// fingerprint derivation). Mismatches refuse to resume.
+	Fingerprint string
+	// RNG is the coordinator RNG stream state.
+	RNG uint64
+
+	// PolicyLogits are the controller policy's logits per decision.
+	PolicyLogits [][]float64
+	// Baseline/BaselineSet/CtrlSteps are the controller optimizer state.
+	Baseline    float64
+	BaselineSet bool
+	CtrlSteps   int64
+
+	// Weights are the shared super-network parameters in Params() order.
+	Weights [][]float64
+	// AdamT/AdamM/AdamV are the weight optimizer's step count and moment
+	// vectors, aligned with Weights.
+	AdamT int64
+	AdamM [][]float64
+	AdamV [][]float64
+
+	// History is the per-step telemetry accumulated so far, so a resumed
+	// run's reward trajectory is the uninterrupted run's.
+	History []StepRecord
+
+	// CreatedAtUnix is stamped by Manager.Save (via its Clock).
+	CreatedAtUnix int64
+}
+
+// StepRecord is one step of search telemetry (mirrors core.StepInfo
+// without importing it — checkpoint sits below core).
+type StepRecord struct {
+	Step       int64
+	MeanReward float64
+	MeanQ      float64
+	Entropy    float64
+	Confidence float64
+}

@@ -155,6 +155,29 @@ func New(s *space.Space, cfg Config) *Controller {
 // Baseline returns the current EMA reward baseline.
 func (c *Controller) Baseline() float64 { return c.baseline }
 
+// State is the REINFORCE optimizer state that lives outside the policy
+// logits: the EMA reward baseline (and whether it has been initialized)
+// plus the update count. Together with the policy logits it makes a
+// controller fully restorable.
+type State struct {
+	Baseline    float64
+	BaselineSet bool
+	Steps       int64
+}
+
+// State captures the controller's optimizer state for checkpointing.
+func (c *Controller) State() State {
+	return State{Baseline: c.baseline, BaselineSet: c.baselineSet, Steps: int64(c.steps)}
+}
+
+// Restore overwrites the controller's optimizer state with a captured
+// one. The caller restores the policy logits separately.
+func (c *Controller) Restore(st State) {
+	c.baseline = st.Baseline
+	c.baselineSet = st.BaselineSet
+	c.steps = int(st.Steps)
+}
+
 // Steps returns how many Update calls have been applied.
 func (c *Controller) Steps() int { return c.steps }
 

@@ -40,11 +40,17 @@ func LoadPolicy(r io.Reader, s *space.Space) (*Policy, error) {
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return nil, fmt.Errorf("controller: decoding saved policy: %w", err)
 	}
-	if f.Version != persistVersion {
-		return nil, fmt.Errorf("controller: unsupported policy file version %d", f.Version)
+	if f.Version > persistVersion {
+		return nil, fmt.Errorf("controller: policy file version %d is newer than the newest supported version %d — it was written by a newer build; upgrade before loading it", f.Version, persistVersion)
+	}
+	if f.Version < 1 {
+		return nil, fmt.Errorf("controller: invalid policy file version %d", f.Version)
 	}
 	if len(f.Decisions) != len(s.Decisions) {
 		return nil, fmt.Errorf("controller: saved policy has %d decisions, space has %d", len(f.Decisions), len(s.Decisions))
+	}
+	if len(f.Logits) != len(f.Decisions) {
+		return nil, fmt.Errorf("controller: saved policy has %d decisions but %d logit rows", len(f.Decisions), len(f.Logits))
 	}
 	p := NewPolicy(s)
 	for i, d := range s.Decisions {

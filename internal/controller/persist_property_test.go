@@ -1,0 +1,116 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// TestPolicySaveLoadSaveBytesIdentical is the persistence property test:
+// over many randomly trained policies, save → load → save must produce
+// byte-identical output. Any drift would mean the on-disk form loses
+// information.
+func TestPolicySaveLoadSaveBytesIdentical(t *testing.T) {
+	s := twoDecisionSpace()
+	rng := tensor.NewRNG(20260806)
+	for trial := 0; trial < 25; trial++ {
+		c := New(s, DefaultConfig())
+		steps := rng.Intn(60)
+		for i := 0; i < steps; i++ {
+			a := c.Policy.Sample(rng)
+			c.Update([]space.Assignment{a}, []float64{rng.Float64()*2 - 1})
+		}
+		var first bytes.Buffer
+		if err := c.Policy.Save(&first); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadPolicy(bytes.NewReader(first.Bytes()), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d (%d updates): save→load→save bytes differ", trial, steps)
+		}
+	}
+}
+
+func TestLoadPolicyRejectsFutureVersion(t *testing.T) {
+	s := twoDecisionSpace()
+	c := New(s, DefaultConfig())
+	var buf bytes.Buffer
+	if err := c.Policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The format is JSON; bump the version field to one from a newer
+	// build.
+	data := strings.Replace(buf.String(), `"version":1`, `"version":99`, 1)
+	if data == buf.String() {
+		t.Fatal("test could not find version field to rewrite")
+	}
+	_, err := LoadPolicy(strings.NewReader(data), s)
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("error %q does not tell the user the file is newer than this build", err)
+	}
+}
+
+func TestLoadPolicyRejectsVersionZero(t *testing.T) {
+	s := twoDecisionSpace()
+	c := New(s, DefaultConfig())
+	var buf bytes.Buffer
+	if err := c.Policy.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := strings.Replace(buf.String(), `"version":1`, `"version":0`, 1)
+	if _, err := LoadPolicy(strings.NewReader(data), s); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+func TestLoadPolicyRejectsLogitCountMismatch(t *testing.T) {
+	s := twoDecisionSpace()
+	// A file with the right decision list but one logit row missing must
+	// be rejected, not index out of range.
+	f := policyFile{Version: persistVersion, Space: s.Name}
+	for _, d := range s.Decisions {
+		f.Decisions = append(f.Decisions, d.Name)
+	}
+	f.Logits = [][]float64{make([]float64, s.Decisions[0].Arity())}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(bytes.NewReader(data), s); err == nil {
+		t.Fatal("mismatched logit row count accepted")
+	}
+}
+
+func TestControllerStateRestoreRoundTrip(t *testing.T) {
+	s := twoDecisionSpace()
+	rng := tensor.NewRNG(9)
+	c := New(s, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		a := c.Policy.Sample(rng)
+		c.Update([]space.Assignment{a}, []float64{rng.Float64()})
+	}
+	st := c.State()
+	if !st.BaselineSet || st.Steps != 10 {
+		t.Fatalf("state after 10 updates = %+v", st)
+	}
+	fresh := New(s, DefaultConfig())
+	fresh.Restore(st)
+	if fresh.Baseline() != c.Baseline() || fresh.Steps() != c.Steps() {
+		t.Fatalf("restored baseline/steps %v/%d, want %v/%d",
+			fresh.Baseline(), fresh.Steps(), c.Baseline(), c.Steps())
+	}
+}

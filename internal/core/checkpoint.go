@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"h2onas/internal/checkpoint"
+	"h2onas/internal/controller"
+	"h2onas/internal/nn"
+	"h2onas/internal/supernet"
+	"h2onas/internal/tensor"
+)
+
+// fingerprintFor derives the identity string stored in snapshots. Two
+// runs with the same fingerprint walk the same trajectory, so resuming
+// across a fingerprint mismatch would silently diverge and is refused.
+// Steps is deliberately excluded: resuming a finished run with a larger
+// Steps budget extends it deterministically.
+func fingerprintFor(cfg *Config, s *Searcher) string {
+	h := fnv.New64a()
+	for _, d := range s.DS.Space.Decisions {
+		fmt.Fprintf(h, "%s:%d|", d.Name, d.Arity())
+	}
+	return fmt.Sprintf("core.Search/v1 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t",
+		s.DS.Space.Name, len(s.DS.Space.Decisions), h.Sum64(),
+		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich)
+}
+
+// snapshot captures the complete search state after nextStep-1 completed
+// steps. Everything a step's outcome depends on is included, so a
+// restored run is bit-identical to the uninterrupted one.
+func (s *Searcher) snapshot(cfg *Config, nextStep int, batchesConsumed int64,
+	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
+	opt *nn.Adam, hist []StepInfo) *checkpoint.Snapshot {
+
+	cs := ctrl.State()
+	ad := opt.State(master.Params())
+	logits := make([][]float64, len(ctrl.Policy.Logits))
+	for i, row := range ctrl.Policy.Logits {
+		logits[i] = append([]float64(nil), row...)
+	}
+	history := make([]checkpoint.StepRecord, len(hist))
+	for i, h := range hist {
+		history[i] = checkpoint.StepRecord{
+			Step:       int64(h.Step),
+			MeanReward: h.MeanReward,
+			MeanQ:      h.MeanQ,
+			Entropy:    h.Entropy,
+			Confidence: h.Confidence,
+		}
+	}
+	return &checkpoint.Snapshot{
+		Step:            int64(nextStep),
+		BatchesConsumed: batchesConsumed,
+		Fingerprint:     fingerprintFor(cfg, s),
+		RNG:             rng.State(),
+		PolicyLogits:    logits,
+		Baseline:        cs.Baseline,
+		BaselineSet:     cs.BaselineSet,
+		CtrlSteps:       cs.Steps,
+		Weights:         master.WeightsState(),
+		AdamT:           ad.T,
+		AdamM:           ad.M,
+		AdamV:           ad.V,
+		History:         history,
+	}
+}
+
+// maybeCheckpoint writes a periodic snapshot after step completed. A
+// failed write is logged and counted but never kills the search — the
+// run keeps going and the next interval tries again.
+func (s *Searcher) maybeCheckpoint(cfg *Config, mgr *checkpoint.Manager, sm SearchMetrics,
+	step int, batchesConsumed int64, rng *tensor.RNG, ctrl *controller.Controller,
+	master *supernet.Supernet, opt *nn.Adam, hist []StepInfo) {
+
+	if mgr == nil || cfg.CheckpointEvery <= 0 || (step+1)%cfg.CheckpointEvery != 0 {
+		return
+	}
+	snap := s.snapshot(cfg, step+1, batchesConsumed, rng, ctrl, master, opt, hist)
+	if _, err := mgr.Save(snap); err != nil {
+		sm.CheckpointFailures.Inc()
+		log.Printf("core: checkpoint at step %d failed (search continues): %v", step+1, err)
+	}
+}
+
+// maybeRestore applies cfg.ResumeSnapshot (or, under cfg.Resume, the
+// newest valid snapshot in the checkpoint directory) to the freshly
+// constructed search state. It returns the step index to continue from
+// and the number of batches the checkpointed run had consumed; (0, 0)
+// means a fresh start.
+func (s *Searcher) maybeRestore(cfg *Config, mgr *checkpoint.Manager,
+	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
+	opt *nn.Adam, res *Result) (startStep int, consumedBase int64, err error) {
+
+	snap := cfg.ResumeSnapshot
+	if snap == nil && cfg.Resume {
+		if mgr == nil {
+			return 0, 0, fmt.Errorf("core: Resume requires CheckpointDir")
+		}
+		loaded, path, err := mgr.LoadLatest()
+		switch {
+		case err == checkpoint.ErrNoCheckpoint:
+			log.Printf("core: no valid checkpoint in %s; starting fresh", cfg.CheckpointDir)
+			return 0, 0, nil
+		case err != nil:
+			return 0, 0, err
+		default:
+			log.Printf("core: resuming from %s (step %d)", path, loaded.Step)
+			snap = loaded
+		}
+	}
+	if snap == nil {
+		return 0, 0, nil
+	}
+
+	if want := fingerprintFor(cfg, s); snap.Fingerprint != want {
+		return 0, 0, fmt.Errorf("core: checkpoint fingerprint %q does not match this run (%q) — it was written by a different configuration", snap.Fingerprint, want)
+	}
+	if snap.Step < 0 || snap.Step > int64(cfg.WarmupSteps+cfg.Steps) {
+		return 0, 0, fmt.Errorf("core: checkpoint step %d outside this run's %d total steps", snap.Step, cfg.WarmupSteps+cfg.Steps)
+	}
+	if snap.BatchesConsumed < 0 {
+		return 0, 0, fmt.Errorf("core: checkpoint has negative consumed-batch count %d", snap.BatchesConsumed)
+	}
+	if len(snap.PolicyLogits) != len(ctrl.Policy.Logits) {
+		return 0, 0, fmt.Errorf("core: checkpoint has %d policy decisions, space has %d", len(snap.PolicyLogits), len(ctrl.Policy.Logits))
+	}
+	for i, row := range snap.PolicyLogits {
+		if len(row) != len(ctrl.Policy.Logits[i]) {
+			return 0, 0, fmt.Errorf("core: checkpoint decision %d has %d logits, space arity is %d", i, len(row), len(ctrl.Policy.Logits[i]))
+		}
+	}
+	if s.Stream.ExamplesServed() != 0 {
+		return 0, 0, fmt.Errorf("core: resume requires an unused traffic stream (it is fast-forwarded to the checkpoint's position)")
+	}
+
+	// All validation passed; apply.
+	if err := master.LoadWeights(snap.Weights); err != nil {
+		return 0, 0, fmt.Errorf("core: restoring super-network weights: %w", err)
+	}
+	if err := opt.LoadState(master.Params(), nn.AdamState{T: snap.AdamT, M: snap.AdamM, V: snap.AdamV}); err != nil {
+		return 0, 0, fmt.Errorf("core: restoring optimizer state: %w", err)
+	}
+	for i, row := range snap.PolicyLogits {
+		copy(ctrl.Policy.Logits[i], row)
+	}
+	ctrl.Restore(controller.State{Baseline: snap.Baseline, BaselineSet: snap.BaselineSet, Steps: snap.CtrlSteps})
+	rng.SetState(snap.RNG)
+	s.Stream.Skip(snap.BatchesConsumed, cfg.BatchSize)
+	res.History = make([]StepInfo, len(snap.History))
+	for i, h := range snap.History {
+		res.History[i] = StepInfo{
+			Step:       int(h.Step),
+			MeanReward: h.MeanReward,
+			MeanQ:      h.MeanQ,
+			Entropy:    h.Entropy,
+			Confidence: h.Confidence,
+		}
+	}
+	res.ResumedFrom = snap.Step
+	return int(snap.Step), snap.BatchesConsumed, nil
+}

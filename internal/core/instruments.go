@@ -29,6 +29,20 @@ type SearchMetrics struct {
 	WarmupSteps *metrics.Counter
 	Candidates  *metrics.Counter
 	Examples    *metrics.Counter
+
+	// Fault-tolerance telemetry: shard failures observed, retries
+	// issued, shards dropped from a step's cross-shard reduce, and steps
+	// skipped entirely because no shard survived.
+	ShardFailures *metrics.Counter
+	ShardRetries  *metrics.Counter
+	ShardsDropped *metrics.Counter
+	StepsSkipped  *metrics.Counter
+
+	// Checkpoint/restore telemetry. Save latency, size and corruption
+	// counters live on the checkpoint manager under checkpoint_*; these
+	// cover the search loop's side of the contract.
+	CheckpointFailures *metrics.Counter
+	ResumedAt          *metrics.Gauge
 }
 
 // NewSearchMetrics resolves the search instruments from r (nil/nop safe).
@@ -51,6 +65,14 @@ func NewSearchMetrics(r *metrics.Registry) SearchMetrics {
 		WarmupSteps: r.Counter("search_warmup_steps_total"),
 		Candidates:  r.Counter("search_candidates_total"),
 		Examples:    r.Counter("search_examples_total"),
+
+		ShardFailures: r.Counter("search_shard_failures_total"),
+		ShardRetries:  r.Counter("search_shard_retries_total"),
+		ShardsDropped: r.Counter("search_shards_dropped_total"),
+		StepsSkipped:  r.Counter("search_steps_skipped_total"),
+
+		CheckpointFailures: r.Counter("search_checkpoint_failures_total"),
+		ResumedAt:          r.Gauge("search_resumed_at_step"),
 	}
 }
 

@@ -22,7 +22,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"h2onas/internal/checkpoint"
 	"h2onas/internal/controller"
 	"h2onas/internal/datapipe"
 	"h2onas/internal/metrics"
@@ -69,6 +71,43 @@ type Config struct {
 	// controller and data pipeline). nil — equivalently metrics.Nop() —
 	// keeps the hot path free of observability overhead.
 	Metrics *metrics.Registry
+
+	// CheckpointEvery, together with CheckpointDir, writes a full-state
+	// snapshot every CheckpointEvery steps (warmup steps count). 0
+	// disables periodic checkpointing.
+	CheckpointEvery int
+	// CheckpointDir is the snapshot directory. Empty disables
+	// checkpointing and resume-from-directory.
+	CheckpointDir string
+	// CheckpointRetain keeps only the newest N snapshots (0 keeps all).
+	CheckpointRetain int
+	// CheckpointFS overrides the snapshot filesystem (in-memory tests,
+	// fault injection); nil uses the real one.
+	CheckpointFS checkpoint.FS
+	// Resume restores the newest valid snapshot found in CheckpointDir
+	// before searching; if none is loadable the search starts fresh with
+	// a logged notice. A resumed search is bit-deterministic: it
+	// reproduces the uninterrupted run's architecture and reward
+	// trajectory exactly.
+	Resume bool
+	// ResumeSnapshot restores this exact snapshot instead of scanning
+	// CheckpointDir (takes precedence over Resume).
+	ResumeSnapshot *checkpoint.Snapshot
+
+	// ShardFault, when non-nil, is consulted before each shard attempt
+	// (stage 1/3 of the step); a non-nil error simulates that shard
+	// failing transiently. It is the fault-injection seam for tests and
+	// the hook future RPC-backed shards report through.
+	ShardFault func(step, shard, attempt int) error
+	// ShardRetries is how many times a failed shard is retried within a
+	// step before being dropped from that step's cross-shard reduce.
+	// 0 means the default (2); negative disables retries.
+	ShardRetries int
+	// ShardBackoff is the base wait between shard retries, doubling per
+	// attempt. 0 means the default (1ms).
+	ShardBackoff time.Duration
+	// Clock injects time for retry backoff; nil uses the real clock.
+	Clock checkpoint.Clock
 }
 
 // DefaultConfig returns search hyperparameters suitable for the small DLRM
@@ -121,6 +160,9 @@ type Result struct {
 	Candidates []Candidate
 	// ExamplesSeen is the total number of traffic examples consumed.
 	ExamplesSeen int64
+	// ResumedFrom is the step index (warmup steps count) the run was
+	// restored at, or 0 for a fresh run.
+	ResumedFrom int64
 }
 
 // Searcher couples a DLRM search space with its reward, performance
@@ -147,6 +189,16 @@ func (s *Searcher) validate(cfg *Config) error {
 }
 
 // Search runs the unified single-step massively parallel algorithm.
+//
+// When checkpointing is configured the complete search state — policy
+// logits, reward baseline, shared weights, optimizer moments, RNG stream
+// and step counter — is snapshotted atomically every CheckpointEvery
+// steps, and a run restored from any snapshot (Resume/ResumeSnapshot)
+// reproduces the uninterrupted run's final architecture and reward
+// trajectory bit-for-bit. Shards that fail (via the ShardFault seam) are
+// retried with bounded exponential backoff and, if they keep failing,
+// dropped from that step's cross-shard reduce so the step degrades to
+// the surviving shards instead of killing the search.
 func (s *Searcher) Search(cfg Config) (*Result, error) {
 	if err := s.validate(&cfg); err != nil {
 		return nil, err
@@ -160,17 +212,52 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	ctrl := controller.New(s.DS.Space, cfg.Controller)
 	ctrl.Metrics = cfg.Metrics
 	opt := nn.NewAdam(cfg.WeightLR)
-	pipe := datapipe.NewPipelineWithMetrics(s.Stream, cfg.BatchSize, cfg.Shards*2, cfg.Metrics)
-	defer pipe.Close()
 	sm := NewSearchMetrics(cfg.Metrics)
 
+	var mgr *checkpoint.Manager
+	if cfg.CheckpointDir != "" {
+		mgr = &checkpoint.Manager{
+			Dir:     cfg.CheckpointDir,
+			FS:      cfg.CheckpointFS,
+			Clock:   cfg.Clock,
+			Retain:  cfg.CheckpointRetain,
+			Metrics: cfg.Metrics,
+		}
+	}
+
 	res := &Result{}
+	// Restore must precede pipeline construction: the producer starts
+	// prefetching from the stream immediately, so the stream has to be
+	// fast-forwarded to the checkpoint's consumed-batch frontier first.
+	startStep, consumedBase, err := s.maybeRestore(&cfg, mgr, rng, ctrl, master, opt, res)
+	if err != nil {
+		return nil, err
+	}
+	sm.ResumedAt.Set(float64(startStep))
+
+	pipe := datapipe.NewPipelineWithMetrics(s.Stream, cfg.BatchSize, cfg.Shards*2, cfg.Metrics)
+	defer pipe.Close()
+
 	assignments := make([]space.Assignment, cfg.Shards)
 	qualities := make([]float64, cfg.Shards)
 	batches := make([]*datapipe.Batch, cfg.Shards)
+	alive := make([]bool, cfg.Shards)
+
+	retries := cfg.ShardRetries
+	if retries == 0 {
+		retries = 2
+	}
+	backoff := cfg.ShardBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = checkpoint.RealClock()
+	}
 
 	maxA := maxAssignment(s.DS.Space)
-	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
+	for step := startStep; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
 		stepSpan := sm.StepTime.Start()
 		if warmup {
@@ -206,29 +293,68 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		fanoutSpan := sm.FanoutTime.Start()
 		var wg sync.WaitGroup
 		for i := 0; i < cfg.Shards; i++ {
+			alive[i] = false
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				shardSpan := sm.ShardTime.Start()
-				b := batches[i]
-				// Stage 1: fresh data is consumed by architecture
-				// learning first…
-				b.UseForArch()
-				loss, dout := replicas[i].Loss(assignments[i], b)
-				qualities[i] = 1 - loss/ln2
-				// Stage 3: …and only then by weight training, on the
-				// same batch and candidate.
-				b.UseForWeights()
-				replicas[i].Backward(dout)
-				shardSpan.End()
+				defer shardSpan.End()
+				for attempt := 0; ; attempt++ {
+					if cfg.ShardFault != nil {
+						if err := cfg.ShardFault(step, i, attempt); err != nil {
+							sm.ShardFailures.Inc()
+							if attempt >= retries {
+								// Permanent for this step: drop the shard
+								// from the cross-shard reduce.
+								sm.ShardsDropped.Inc()
+								return
+							}
+							sm.ShardRetries.Inc()
+							clk.Sleep(backoff << attempt)
+							continue
+						}
+					}
+					b := batches[i]
+					// Stage 1: fresh data is consumed by architecture
+					// learning first…
+					b.UseForArch()
+					loss, dout := replicas[i].Loss(assignments[i], b)
+					qualities[i] = 1 - loss/ln2
+					// Stage 3: …and only then by weight training, on the
+					// same batch and candidate.
+					b.UseForWeights()
+					replicas[i].Backward(dout)
+					alive[i] = true
+					return
+				}
 			}(i)
 		}
 		wg.Wait()
 		fanoutSpan.End()
 
+		// Collect the shards that completed the step; dropped shards
+		// never ran Backward, so their replica gradients are still zero
+		// and excluding them keeps the surviving shards' gradient average
+		// unbiased.
+		live := make([]*supernet.Supernet, 0, cfg.Shards)
+		for i, ok := range alive {
+			if ok {
+				live = append(live, replicas[i])
+			}
+		}
+		if len(live) == 0 {
+			// Every shard failed: nothing to learn from this step.
+			// Degrade by skipping the updates rather than killing the run.
+			sm.StepsSkipped.Inc()
+			stepSpan.End()
+			s.maybeCheckpoint(&cfg, mgr, sm, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+			continue
+		}
+
 		// Stage 2: cross-shard policy update from (Q, T) → R. The
 		// sandwich shard trains weights only; its fixed candidate would
 		// bias REINFORCE, so it is excluded from the update.
+		var stepRewards []float64
 		if !warmup {
 			policySpan := sm.PolicyTime.Start()
 			first := 0
@@ -238,6 +364,9 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			var policySamples []space.Assignment
 			var rewards []float64
 			for i := first; i < cfg.Shards; i++ {
+				if !alive[i] {
+					continue
+				}
 				perf := s.Perf(assignments[i])
 				rw := s.Reward.Eval(qualities[i], perf)
 				policySamples = append(policySamples, assignments[i])
@@ -252,26 +381,24 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			}
 			ctrl.Update(policySamples, rewards)
 			sm.Candidates.Add(int64(len(policySamples)))
+			stepRewards = rewards
 			policySpan.End()
 		}
 
-		// Stage 3 (cross-shard): reduce replica gradients and step W.
+		// Stage 3 (cross-shard): reduce the surviving replicas' gradients
+		// and step W.
 		weightsSpan := sm.WeightsTime.Start()
-		supernet.ReduceGrads(master, replicas)
+		supernet.ReduceGrads(master, live)
 		nn.ClipGradNorm(master.Params(), 10)
 		opt.Step(master.Params())
 		nn.ZeroGrads(master.Params())
 		weightsSpan.End()
 
 		if !warmup {
-			perStep := cfg.Shards
-			if !cfg.DisableSandwich && cfg.Shards > 1 {
-				perStep--
-			}
 			info := StepInfo{
 				Step:       step - cfg.WarmupSteps,
-				MeanReward: mean(res.Candidates[len(res.Candidates)-perStep:]),
-				MeanQ:      meanOf(qualities),
+				MeanReward: meanOf(stepRewards),
+				MeanQ:      meanAlive(qualities, alive),
 				Entropy:    ctrl.Policy.Entropy(),
 				Confidence: ctrl.Policy.Confidence(),
 			}
@@ -282,6 +409,8 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			}
 		}
 		stepSpan.End()
+
+		s.maybeCheckpoint(&cfg, mgr, sm, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 	}
 
 	res.Best = ctrl.Policy.MostProbable()
@@ -316,15 +445,21 @@ func maxAssignment(sp *space.Space) space.Assignment {
 	return a
 }
 
-func mean(cands []Candidate) float64 {
-	if len(cands) == 0 {
+// meanAlive averages the entries of v whose alive flag is set — the
+// per-step quality mean over the shards that completed the step.
+func meanAlive(v []float64, alive []bool) float64 {
+	var sum float64
+	n := 0
+	for i, x := range v {
+		if alive[i] {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, c := range cands {
-		sum += c.Reward
-	}
-	return sum / float64(len(cands))
+	return sum / float64(n)
 }
 
 func meanOf(v []float64) float64 {

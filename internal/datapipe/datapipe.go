@@ -193,6 +193,58 @@ func (s *Stream) NextBatch(n int) *Batch {
 	return b
 }
 
+// StreamState is the portable generator state of a Stream: restoring it
+// (or fast-forwarding a fresh stream with Skip) repositions the generator
+// so the sequence of future batches is exactly what the original stream
+// would have produced.
+type StreamState struct {
+	RNG     uint64 `json:"rng"`
+	Served  int64  `json:"served"`
+	Batches int64  `json:"batches"`
+}
+
+// State captures the stream's current generator state.
+func (s *Stream) State() StreamState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StreamState{
+		RNG:     s.rng.State(),
+		Served:  atomic.LoadInt64(&s.served),
+		Batches: atomic.LoadInt64(&s.batches),
+	}
+}
+
+// Restore overwrites the stream's generator state with one captured by
+// State on a stream with the same config and seed.
+func (s *Stream) Restore(st StreamState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rng.SetState(st.RNG)
+	atomic.StoreInt64(&s.served, st.Served)
+	atomic.StoreInt64(&s.batches, st.Batches)
+}
+
+// Skip advances the stream past nBatches batches of batchSize examples
+// each without generating them. It has exactly the effect on the
+// generator state that nBatches NextBatch(batchSize) calls would have, at
+// O(1) cost per batch — the fast-forward primitive checkpoint resume uses
+// to reposition a fresh stream at a run's consumed-batch frontier.
+func (s *Stream) Skip(nBatches int64, batchSize int) {
+	if nBatches < 0 || batchSize <= 0 {
+		panic(fmt.Sprintf("datapipe: Skip(%d, %d) with negative batches or non-positive size", nBatches, batchSize))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// NextBatch consumes exactly one value from the parent generator (the
+	// Split that seeds the per-batch stream); everything else it draws
+	// comes from the discarded child.
+	for i := int64(0); i < nBatches; i++ {
+		s.rng.Uint64()
+	}
+	atomic.AddInt64(&s.served, nBatches*int64(batchSize))
+	atomic.AddInt64(&s.batches, nBatches)
+}
+
 // latentEffect is the stationary ground-truth per-id effect of table t: a
 // hash-derived Gaussian scaled by the table's informativeness.
 func (s *Stream) latentEffect(table, id int) float64 {

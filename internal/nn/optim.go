@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"h2onas/internal/tensor"
@@ -90,6 +91,61 @@ func (o *Adam) Step(params []*Param) {
 			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
 		}
 	}
+}
+
+// AdamState is the optimizer's portable state: the bias-correction step
+// count and the first/second moment vectors, in the caller's parameter
+// order. It exists so checkpoint/restore can resume training
+// bit-deterministically — a restored optimizer produces exactly the
+// updates the original would have.
+type AdamState struct {
+	T int64
+	M [][]float64
+	V [][]float64
+}
+
+// State exports the optimizer state for params, in order. Parameters the
+// optimizer has not stepped yet export zero moments, matching what Step
+// would lazily allocate.
+func (o *Adam) State(params []*Param) AdamState {
+	st := AdamState{T: int64(o.t), M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		n := len(p.Value.Data)
+		st.M[i] = make([]float64, n)
+		st.V[i] = make([]float64, n)
+		if m := o.m[p]; m != nil {
+			copy(st.M[i], m.Data)
+			copy(st.V[i], o.v[p].Data)
+		}
+	}
+	return st
+}
+
+// LoadState restores state exported by State against the same parameter
+// order, replacing any moments the optimizer has accumulated. It rejects
+// mismatched shapes without applying anything.
+func (o *Adam) LoadState(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment vectors, want %d", len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Value.Data) || len(st.V[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: Adam state for param %d (%s) has %d/%d values, want %d",
+				i, p.Name, len(st.M[i]), len(st.V[i]), len(p.Value.Data))
+		}
+	}
+	o.t = int(st.T)
+	o.m = make(map[*Param]*tensor.Matrix, len(params))
+	o.v = make(map[*Param]*tensor.Matrix, len(params))
+	for i, p := range params {
+		m := tensor.New(p.Value.Rows, p.Value.Cols)
+		copy(m.Data, st.M[i])
+		v := tensor.New(p.Value.Rows, p.Value.Cols)
+		copy(v.Data, st.V[i])
+		o.m[p] = m
+		o.v[p] = v
+	}
+	return nil
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm is at most

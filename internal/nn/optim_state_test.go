@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+func adamFixture(seed uint64) ([]*Param, *tensor.RNG) {
+	rng := tensor.NewRNG(seed)
+	params := []*Param{
+		NewParam("w", tensor.RandN(3, 4, 1, rng)),
+		NewParam("b", tensor.RandN(1, 4, 1, rng)),
+	}
+	return params, rng
+}
+
+func fakeGrads(params []*Param, rng *tensor.RNG) {
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.Norm()
+		}
+	}
+}
+
+// TestAdamStateRestoreContinuesIdentically trains two optimizers on the
+// same gradient sequence — one uninterrupted, one saved and restored into
+// a fresh Adam mid-run — and requires bit-identical parameters.
+func TestAdamStateRestoreContinuesIdentically(t *testing.T) {
+	golden, goldenRNG := adamFixture(3)
+	goldenOpt := NewAdam(0.01)
+	resumed, resumedRNG := adamFixture(3)
+	resumedOpt := NewAdam(0.01)
+
+	step := func(params []*Param, rng *tensor.RNG, opt *Adam) {
+		fakeGrads(params, rng)
+		opt.Step(params)
+	}
+	for i := 0; i < 5; i++ {
+		step(golden, goldenRNG, goldenOpt)
+		step(resumed, resumedRNG, resumedOpt)
+	}
+
+	// Interrupt the second run: serialize optimizer state, build a brand
+	// new Adam, restore into it.
+	st := resumedOpt.State(resumed)
+	resumedOpt = NewAdam(0.01)
+	if err := resumedOpt.LoadState(resumed, st); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		step(golden, goldenRNG, goldenOpt)
+		step(resumed, resumedRNG, resumedOpt)
+	}
+	for i := range golden {
+		for j := range golden[i].Value.Data {
+			if golden[i].Value.Data[j] != resumed[i].Value.Data[j] {
+				t.Fatalf("param %d value %d: golden %v, resumed %v",
+					i, j, golden[i].Value.Data[j], resumed[i].Value.Data[j])
+			}
+		}
+	}
+}
+
+func TestAdamStateOfFreshOptimizerIsZeroMoments(t *testing.T) {
+	params, _ := adamFixture(1)
+	st := NewAdam(0.01).State(params)
+	if st.T != 0 {
+		t.Fatalf("T = %d, want 0", st.T)
+	}
+	for i := range st.M {
+		for j := range st.M[i] {
+			if st.M[i][j] != 0 || st.V[i][j] != 0 {
+				t.Fatal("fresh optimizer exported non-zero moments")
+			}
+		}
+	}
+}
+
+func TestAdamLoadStateRejectsShapeMismatch(t *testing.T) {
+	params, rng := adamFixture(2)
+	opt := NewAdam(0.01)
+	fakeGrads(params, rng)
+	opt.Step(params)
+	good := opt.State(params)
+
+	wrongCount := AdamState{T: good.T, M: good.M[:1], V: good.V[:1]}
+	if err := NewAdam(0.01).LoadState(params, wrongCount); err == nil {
+		t.Fatal("mismatched vector count accepted")
+	}
+	wrongLen := AdamState{T: good.T, M: [][]float64{good.M[0][:2], good.M[1]}, V: good.V}
+	if err := NewAdam(0.01).LoadState(params, wrongLen); err == nil {
+		t.Fatal("mismatched vector length accepted")
+	}
+	// The failed loads must not have touched the optimizer: a clean load
+	// into a fresh optimizer still works and continues identically.
+	fresh := NewAdam(0.01)
+	if err := fresh.LoadState(params, good); err != nil {
+		t.Fatal(err)
+	}
+}

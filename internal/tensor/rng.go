@@ -16,6 +16,15 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's complete internal state. Together with
+// SetState it makes RNG streams checkpointable: a generator restored to a
+// saved state produces exactly the sequence the original would have.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State, discarding
+// the generator's current position in its stream.
+func (r *RNG) SetState(state uint64) { r.state = state }
+
 // Split returns a new independent generator derived from r's stream,
 // advancing r. Derived generators are safe to hand to other goroutines.
 func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
