@@ -9,51 +9,99 @@
 //	serve -model dlrm -p99 2ms
 //	serve -model dlrm -listen :8080     # HTTP mode with /metrics
 //
-// With -listen, serve stays up as an HTTP server: /simulate runs
-// simulations on demand, /metrics exposes the process's instruments in
-// Prometheus text format (or JSON with ?format=json / Accept:
-// application/json), and /healthz answers liveness probes.
+// With -listen, serve stays up as a production-hardened HTTP server
+// (internal/httpserve): /simulate runs simulations on demand, /metrics
+// exposes the process's instruments in Prometheus text format (or JSON
+// with ?format=json / Accept: application/json), /healthz answers
+// liveness probes and /readyz readiness. The stack recovers handler
+// panics (500 + http_panics_total), sheds load with 503 + Retry-After
+// once -max-inflight plus the -max-queue wait queue are saturated, and
+// drains gracefully on SIGINT/SIGTERM: readiness flips false first, then
+// in-flight requests get -drain-timeout to finish before the process
+// exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"h2onas/internal/arch"
+	"h2onas/internal/httpserve"
 	"h2onas/internal/hwsim"
 	"h2onas/internal/metrics"
 	"h2onas/internal/models"
 	"h2onas/internal/space"
 )
 
+// maxSimulateBatch bounds /simulate's batch parameter: graph size (and
+// per-request memory/CPU) grows with batch, so an absurd value would let
+// one request build an arbitrarily large graph.
+const maxSimulateBatch = 4096
+
 func main() {
 	model := flag.String("model", "efficientnet-b5", "model to serve (see cmd/inspect -list)")
 	chipName := flag.String("chip", "tpuv4i", "chip: tpuv4, tpuv4i, v100")
-	p99 := flag.Duration("p99", 10*time.Millisecond, "P99 latency target")
-	listen := flag.String("listen", "", "serve HTTP on this address (e.g. :8080) with /metrics, /simulate and /healthz")
+	p99 := flag.Duration("p99", 10*time.Millisecond, "P99 latency target (must be > 0)")
+	listen := flag.String("listen", "", "serve HTTP on this address (e.g. :8080) with /metrics, /simulate, /healthz and /readyz")
+	maxInFlight := flag.Int("max-inflight", 64, "HTTP mode: max concurrently executing requests")
+	maxQueue := flag.Int("max-queue", 128, "HTTP mode: max requests waiting for a slot before shedding (negative disables queueing)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "HTTP mode: per-request deadline, including queue wait")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "HTTP mode: graceful-shutdown drain deadline")
 	flag.Parse()
+
+	if *p99 <= 0 {
+		usageError("-p99 must be a positive duration, got %v", *p99)
+	}
+	if *maxInFlight <= 0 {
+		usageError("-max-inflight must be positive, got %d", *maxInFlight)
+	}
+	if *requestTimeout <= 0 {
+		usageError("-request-timeout must be positive, got %v", *requestTimeout)
+	}
+	if *drainTimeout <= 0 {
+		usageError("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
 
 	reg := metrics.New()
 	hwsim.SetMetrics(reg)
 
 	chip, ok := hwsim.ChipByName(*chipName)
 	if !ok {
-		fatalf("unknown chip %q", *chipName)
-	}
-	build, err := builderFor(*model)
-	if err != nil {
-		fatalf("%v", err)
+		usageError("unknown chip %q (want tpuv4, tpuv4i or v100)", *chipName)
 	}
 
 	if *listen != "" {
-		runServer(*listen, reg, chip)
+		srv := newServer(*listen, reg, chip, httpserve.Config{
+			MaxInFlight:    *maxInFlight,
+			MaxQueue:       *maxQueue,
+			RequestTimeout: *requestTimeout,
+			DrainTimeout:   *drainTimeout,
+			Metrics:        reg,
+			Logf:           log.Printf,
+		})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		// A graceful shutdown (including http.ErrServerClosed from the
+		// listener) returns nil from Run and must exit 0.
+		if err := srv.Run(ctx); err != nil {
+			fatalf("http server: %v", err)
+		}
 		return
+	}
+
+	build, err := builderFor(*model)
+	if err != nil {
+		usageError("%v", err)
 	}
 
 	fmt.Printf("%s on %s, P99 target %v\n\n", *model, chip.Name, *p99)
@@ -88,29 +136,14 @@ func main() {
 		bestBatch, bestQPS, *p99)
 }
 
-// runServer serves the observability endpoints plus on-demand simulation:
-//
-//	GET /metrics                          Prometheus text (or JSON with
-//	                                      ?format=json / Accept: application/json)
-//	GET /simulate?model=M&chip=C&batch=N  simulate one configuration
-//	GET /healthz                          liveness
-//
-// Every /simulate call flows through the instrumented hwsim.Simulate, so
-// /metrics reflects live request traffic: request counts and latencies
-// per endpoint plus the simulator-call histograms underneath.
-func runServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip) {
-	requests := reg.Counter("http_requests_total")
-	errors := reg.Counter("http_request_errors_total")
+// newMux builds the service routes. Health endpoints are not here: the
+// hardened server registers /healthz and /readyz itself, outside
+// admission control, so probes keep answering while the server sheds.
+func newMux(reg *metrics.Registry, defaultChip hwsim.Chip) *http.ServeMux {
 	simLatency := reg.Histogram("http_simulate_seconds")
-	inflight := reg.Gauge("http_inflight_requests")
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		fmt.Fprintln(w, "ok")
-	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
 		wantJSON := r.URL.Query().Get("format") == "json" ||
 			strings.Contains(r.Header.Get("Accept"), "application/json")
 		if wantJSON {
@@ -122,9 +155,6 @@ func runServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip) {
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/simulate", func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		inflight.Add(1)
-		defer inflight.Add(-1)
 		defer simLatency.Start().End()
 
 		q := r.URL.Query()
@@ -132,29 +162,31 @@ func runServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip) {
 		if name := q.Get("chip"); name != "" {
 			c, ok := hwsim.ChipByName(name)
 			if !ok {
-				errors.Inc()
-				http.Error(w, fmt.Sprintf("unknown chip %q", name), http.StatusBadRequest)
+				httpserve.Error(w, r, http.StatusBadRequest, fmt.Sprintf("unknown chip %q", name))
 				return
 			}
 			chip = c
 		}
 		modelName := q.Get("model")
 		if modelName == "" {
-			errors.Inc()
-			http.Error(w, "missing model parameter", http.StatusBadRequest)
+			httpserve.Error(w, r, http.StatusBadRequest, "missing model parameter")
 			return
 		}
 		build, err := builderFor(modelName)
 		if err != nil {
-			errors.Inc()
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			httpserve.Error(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
 		batch := 1
 		if s := q.Get("batch"); s != "" {
-			if batch, err = strconv.Atoi(s); err != nil || batch < 1 {
-				errors.Inc()
-				http.Error(w, "batch must be a positive integer", http.StatusBadRequest)
+			batch, err = strconv.Atoi(s)
+			if err != nil || batch < 1 {
+				httpserve.Error(w, r, http.StatusBadRequest, "batch must be a positive integer")
+				return
+			}
+			if batch > maxSimulateBatch {
+				httpserve.Error(w, r, http.StatusBadRequest,
+					fmt.Sprintf("batch %d exceeds the maximum of %d", batch, maxSimulateBatch))
 				return
 			}
 		}
@@ -164,40 +196,44 @@ func runServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip) {
 			modelName, chip.Name, batch, res.StepTime, res.Power, res.Energy,
 			float64(batch)/res.StepTime)
 	})
+	return mux
+}
 
-	fmt.Printf("serving /metrics, /simulate and /healthz on %s\n", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		fatalf("http server: %v", err)
-	}
+// newServer wraps the service routes in the hardening stack.
+func newServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip, cfg httpserve.Config) *httpserve.Server {
+	return httpserve.New(addr, newMux(reg, defaultChip), cfg)
 }
 
 // builderFor resolves a model name to a batch-parametric graph builder.
+// Variant names must match exactly: "efficientnet-b5" resolves,
+// "efficientnet-b5xyz" (trailing garbage) and "efficientnet-b9" (no such
+// variant) are rejected with a clear error.
 func builderFor(name string) (hwsim.GraphBuilder, error) {
 	lower := strings.ToLower(name)
 	switch {
 	case strings.HasPrefix(lower, "efficientnet-hb"):
-		var i int
-		if _, err := fmt.Sscanf(lower, "efficientnet-hb%d", &i); err != nil {
-			return nil, fmt.Errorf("bad variant %q", name)
+		i, err := variantIndex(name, lower, "efficientnet-hb", 7)
+		if err != nil {
+			return nil, err
 		}
 		spec := models.EfficientNetH(i)
 		return spec.ServingGraph, nil
 	case strings.HasPrefix(lower, "efficientnet-b"):
-		var i int
-		if _, err := fmt.Sscanf(lower, "efficientnet-b%d", &i); err != nil {
-			return nil, fmt.Errorf("bad variant %q", name)
+		i, err := variantIndex(name, lower, "efficientnet-b", 7)
+		if err != nil {
+			return nil, err
 		}
 		spec := models.EfficientNetX(i)
 		return spec.ServingGraph, nil
-	case strings.HasPrefix(lower, "coatnet"):
-		var i int
+	case strings.HasPrefix(lower, "coatnet-"):
 		h := strings.HasPrefix(lower, "coatnet-h")
-		pattern := "coatnet-%d"
+		prefix := "coatnet-"
 		if h {
-			pattern = "coatnet-h%d"
+			prefix = "coatnet-h"
 		}
-		if _, err := fmt.Sscanf(lower, pattern, &i); err != nil {
-			return nil, fmt.Errorf("bad variant %q", name)
+		i, err := variantIndex(name, lower, prefix, models.CoAtNetFamilySize()-1)
+		if err != nil {
+			return nil, err
 		}
 		return func(batch int) *arch.Graph {
 			spec := models.CoAtNet(i)
@@ -220,6 +256,30 @@ func builderFor(name string) (hwsim.GraphBuilder, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+// variantIndex parses the variant number that must make up the entire
+// remainder of the name after prefix. Round-tripping through Itoa
+// rejects trailing garbage, signs, and leading zeros ("b5xyz", "b+5",
+// "b05"); the range check rejects variants the family doesn't have.
+func variantIndex(name, lower, prefix string, max int) (int, error) {
+	suffix := strings.TrimPrefix(lower, prefix)
+	i, err := strconv.Atoi(suffix)
+	if err != nil || strconv.Itoa(i) != suffix {
+		return 0, fmt.Errorf("bad variant %q: %q is not a variant number", name, suffix)
+	}
+	if i < 0 || i > max {
+		return 0, fmt.Errorf("bad variant %q: variant %d outside 0..%d", name, i, max)
+	}
+	return i, nil
+}
+
+// usageError reports a flag/argument problem the way flag itself does:
+// message plus usage, exit code 2.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatalf(format string, args ...any) {

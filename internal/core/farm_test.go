@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"h2onas/internal/hwsim"
+	"h2onas/internal/measure"
+	"h2onas/internal/perfmodel"
+	"h2onas/internal/space"
+)
+
+// farmClock is a virtual clock: Sleep advances time instantly, so the
+// farm's retries and backoffs cost no real wall time in tests.
+type farmClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *farmClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *farmClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// degradedFarm is the acceptance-criteria fleet: half the live devices
+// flaky (every other call fails) plus one permanently dead device.
+func degradedFarm() *measure.Farm {
+	clock := &farmClock{now: time.Unix(1754400000, 0)}
+	devices := []measure.Device{
+		measure.NewSimDevice("flaky-0", measure.FaultProfile{FailEvery: 2}, clock, 1),
+		measure.NewSimDevice("flaky-1", measure.FaultProfile{FailEvery: 2}, clock, 2),
+		measure.NewSimDevice("ok-0", measure.FaultProfile{}, clock, 3),
+		measure.NewSimDevice("ok-1", measure.FaultProfile{}, clock, 4),
+		measure.NewSimDevice("dead-0", measure.FaultProfile{Dead: true}, clock, 5),
+	}
+	return measure.NewFarm(devices, measure.Config{
+		Replicas:    3,
+		MinReplicas: 2,
+		Clock:       clock,
+	})
+}
+
+// TestDegradedFarmDeliversSamples proves the K-of-N collection
+// guarantee: a 50%-flaky fleet with a dead device still delivers the
+// fine-tuning corpus, deterministically.
+func TestDegradedFarmDeliversSamples(t *testing.T) {
+	ds := space.NewDLRMSpace(space.SmallDLRMConfig())
+	chip := hwsim.TPUv4()
+
+	samples, err := FarmMeasuredSamples(ds, chip, degradedFarm(), 20, 15, 7)
+	if err != nil {
+		t.Fatalf("degraded farm failed to deliver: %v", err)
+	}
+	if len(samples) < 15 {
+		t.Fatalf("got %d samples, want ≥ 15 of 20", len(samples))
+	}
+	for i, s := range samples {
+		if s.TrainTime <= 0 || s.ServeTime <= 0 {
+			t.Fatalf("sample %d has non-positive times: %+v", i, s)
+		}
+		if len(s.Features) != len(ds.Space.Decisions) {
+			t.Fatalf("sample %d has %d features, want %d", i, len(s.Features), len(ds.Space.Decisions))
+		}
+	}
+
+	// Determinism: same fleet, same seed, same samples.
+	again, err := FarmMeasuredSamples(ds, chip, degradedFarm(), 20, 15, 7)
+	if err != nil || len(again) != len(samples) {
+		t.Fatalf("second collection differs: %d samples, err %v", len(again), err)
+	}
+	for i := range samples {
+		if samples[i].TrainTime != again[i].TrainTime || samples[i].ServeTime != again[i].ServeTime {
+			t.Fatalf("sample %d not deterministic: %+v vs %+v", i, samples[i], again[i])
+		}
+	}
+}
+
+// TestFarmTooDegradedFailsCleanly: when the fleet cannot deliver the
+// K-of-N floor, collection reports a clear error instead of hanging or
+// returning a silently thin corpus.
+func TestFarmTooDegradedFailsCleanly(t *testing.T) {
+	ds := space.NewDLRMSpace(space.SmallDLRMConfig())
+	chip := hwsim.TPUv4()
+	clock := &farmClock{now: time.Unix(1754400000, 0)}
+	farm := measure.NewFarm([]measure.Device{
+		measure.NewSimDevice("dead-0", measure.FaultProfile{Dead: true}, clock, 1),
+		measure.NewSimDevice("dead-1", measure.FaultProfile{Dead: true}, clock, 2),
+	}, measure.Config{Clock: clock})
+
+	if _, err := FarmMeasuredSamples(ds, chip, farm, 5, 1, 3); err == nil {
+		t.Fatal("all-dead fleet must fail collection")
+	}
+}
+
+// TestDegradedFarmFineTunesModel is the end-to-end acceptance check: the
+// degraded fleet's samples fine-tune the performance model and close the
+// simulator-to-silicon gap, just like a healthy collection would.
+func TestDegradedFarmFineTunesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fine-tuning convergence run; covered by the non-short tier-1 suite")
+	}
+	ds := space.NewDLRMSpace(space.SmallDLRMConfig())
+	chip := hwsim.TPUv4()
+
+	samples, err := FarmMeasuredSamples(ds, chip, degradedFarm(), 20, 10, 7)
+	if err != nil {
+		t.Fatalf("collection failed: %v", err)
+	}
+
+	sim := SimulatorSamples(ds, chip, 600, 1)
+	model := perfmodel.New(len(ds.Space.Decisions), []int{64, 64}, 1)
+	if err := model.Pretrain(sim, perfmodel.TrainConfig{Epochs: 30, BatchSize: 64, LR: 1e-3, Seed: 1}); err != nil {
+		t.Fatalf("pretrain: %v", err)
+	}
+
+	holdout := MeasuredSamples(ds, chip, 200, 99)
+	pre := model.NRMSE(holdout, perfmodel.TrainHead)
+	if err := model.FineTune(samples, perfmodel.DefaultFineTuneConfig()); err != nil {
+		t.Fatalf("fine-tune on farm samples: %v", err)
+	}
+	post := model.NRMSE(holdout, perfmodel.TrainHead)
+	if post >= pre {
+		t.Fatalf("fine-tuning on farm samples did not help: NRMSE %.4f -> %.4f", pre, post)
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"h2onas/internal/hwsim"
+	"h2onas/internal/measure"
 	"h2onas/internal/perfmodel"
 	"h2onas/internal/space"
 	"h2onas/internal/tensor"
@@ -80,6 +83,47 @@ func MeasuredSamples(ds *space.DLRMSpace, chip hwsim.Chip, n int, seed uint64) [
 		}
 	}
 	return out
+}
+
+// FarmMeasuredSamples collects the fine-tuning corpus through the
+// resilient measurement farm instead of calling hwsim.Measure directly:
+// each of the n candidates is measured (training and serving) with the
+// farm's retry/hedge/median machinery, candidates whose measurements
+// fail outright are skipped, and the collection succeeds as long as at
+// least minOK samples survive — so a degraded fleet (flaky or dead
+// devices) yields a usable, if smaller and noisier, fine-tuning set
+// instead of a hung or failed run.
+func FarmMeasuredSamples(ds *space.DLRMSpace, chip hwsim.Chip, farm *measure.Farm, n, minOK int, seed uint64) ([]perfmodel.Sample, error) {
+	if minOK <= 0 {
+		minOK = 1
+	}
+	rng := tensor.NewRNG(seed)
+	out := make([]perfmodel.Sample, 0, n)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		a := randomAssignment(ds.Space, rng)
+		g := ds.Graph(ds.Decode(a))
+		train, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Training, Chips: ds.Config.Chips}, seed+uint64(i))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		serve, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, seed+uint64(i)+1<<32)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out = append(out, perfmodel.Sample{
+			Features:  ds.Space.Features(a),
+			TrainTime: train.StepTime,
+			ServeTime: serve.StepTime,
+		})
+	}
+	if len(out) < minOK {
+		return nil, fmt.Errorf("core: measurement farm delivered %d/%d samples, need at least %d: %w",
+			len(out), n, minOK, lastErr)
+	}
+	return out, nil
 }
 
 func randomAssignment(sp *space.Space, rng *tensor.RNG) space.Assignment {

@@ -1,0 +1,196 @@
+// Package measure is the resilient hardware-measurement farm behind the
+// two-phase performance model (Section 6.2.2): the paper's fine-tuning
+// phase needs O(20) *real hardware* measurements, and in production those
+// come from a fleet of devices that are slow, flaky, and occasionally
+// dead. The farm wraps a pool of measurement devices with the tail-
+// tolerant patterns of hyperscale serving stacks ("The Tail at Scale"):
+// per-measurement timeouts, jittered exponential-backoff retries, hedged
+// dispatch to a second device once the primary exceeds the fleet's P95,
+// per-device circuit breakers, and median-of-K replication for outlier
+// rejection — so a degraded fleet yields a usable (if noisier) sample set
+// instead of a hung or failed fine-tuning run.
+//
+// Determinism: devices report how long each attempt took instead of the
+// farm reading a wall clock around them, and all randomness (jitter,
+// device choice) comes from a seeded RNG. With the fake clock in tests
+// the whole farm — backoff sleeps, breaker cooldowns, hedge races — runs
+// in virtual time, so every failure mode is exercised without a single
+// real sleep.
+package measure
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"h2onas/internal/arch"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/tensor"
+)
+
+// Clock abstracts time for backoff sleeps and breaker cooldowns
+// (mirrors checkpoint.Clock). Tests inject a fake that advances
+// virtually.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Device is one measurement worker in the farm. Measure runs a single
+// measurement attempt and reports the result together with how long the
+// attempt took on the device; implementations block for that duration
+// (a real device RPC blocks on the wire, SimDevice blocks on its
+// Clock). Reporting latency explicitly is what lets the farm reason
+// about timeouts and hedging in virtual time.
+type Device interface {
+	ID() string
+	Measure(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, time.Duration, error)
+}
+
+// DeviceError is a measurement failure attributed to a device.
+// Permanent errors (a dead device) trip its circuit breaker immediately
+// and permanently; transient ones count toward the consecutive-failure
+// threshold.
+type DeviceError struct {
+	Device    string
+	Permanent bool
+	Msg       string
+}
+
+func (e *DeviceError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("device %s: %s failure: %s", e.Device, kind, e.Msg)
+}
+
+// FaultProfile describes a simulated device's failure behaviour. The
+// zero value is a healthy device with the default latency. Schedules are
+// counter-based (every Nth call), so runs are deterministic.
+type FaultProfile struct {
+	// BaseLatency is the healthy per-measurement latency
+	// (default 50ms).
+	BaseLatency time.Duration
+	// JitterFrac adds a deterministic ±fraction of BaseLatency per call
+	// (default 0.10; negative = none).
+	JitterFrac float64
+	// SpikeEvery makes every Nth call take SpikeFactor × BaseLatency
+	// (0 = never) — a GC pause, thermal throttle, or co-tenant burst.
+	SpikeEvery int
+	// SpikeFactor scales spiked calls (default 20).
+	SpikeFactor float64
+	// FailEvery makes every Nth call return a transient error
+	// (0 = never) — a dropped RPC or a flaky harness.
+	FailEvery int
+	// MisreportEvery makes every Nth call silently return a corrupted
+	// measurement (StepTime ×100, 0 = never) — the failure mode
+	// median-of-K replication exists to reject.
+	MisreportEvery int
+	// Dead marks the device permanently failed from the start.
+	Dead bool
+	// DeadAfter kills the device permanently after that many calls
+	// (0 = never).
+	DeadAfter int
+}
+
+func (p FaultProfile) withDefaults() FaultProfile {
+	if p.BaseLatency <= 0 {
+		p.BaseLatency = 50 * time.Millisecond
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.10
+	} else if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	if p.SpikeFactor <= 0 {
+		p.SpikeFactor = 20
+	}
+	return p
+}
+
+// SimDevice simulates one measurement worker: hwsim.Measure behind a
+// configurable fault seam. It is the production stand-in for a real
+// device client and the fault injector for tests.
+type SimDevice struct {
+	id      string
+	profile FaultProfile
+	clock   Clock
+	measure hwsim.Measurer
+
+	mu    sync.Mutex
+	calls int
+	rng   *tensor.RNG
+}
+
+// NewSimDevice builds a simulated device. A nil clock uses the wall
+// clock; the measurement function defaults to hwsim.Measure.
+func NewSimDevice(id string, profile FaultProfile, clock Clock, seed uint64) *SimDevice {
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &SimDevice{
+		id:      id,
+		profile: profile.withDefaults(),
+		clock:   clock,
+		measure: hwsim.Measure,
+		rng:     tensor.NewRNG(seed ^ 0x5f3759df),
+	}
+}
+
+// SetMeasurer overrides the underlying measurement function (tests).
+func (d *SimDevice) SetMeasurer(m hwsim.Measurer) { d.measure = m }
+
+// ID implements Device.
+func (d *SimDevice) ID() string { return d.id }
+
+// Calls returns how many measurement attempts the device has served.
+func (d *SimDevice) Calls() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calls
+}
+
+// Measure implements Device: it blocks for the simulated attempt
+// latency on the device's clock, then returns the (possibly faulty)
+// measurement.
+func (d *SimDevice) Measure(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, time.Duration, error) {
+	d.mu.Lock()
+	d.calls++
+	n := d.calls
+	p := d.profile
+	lat := p.BaseLatency
+	if p.JitterFrac > 0 {
+		lat += time.Duration((2*d.rng.Float64() - 1) * p.JitterFrac * float64(p.BaseLatency))
+	}
+	if p.SpikeEvery > 0 && n%p.SpikeEvery == 0 {
+		lat = time.Duration(p.SpikeFactor * float64(lat))
+	}
+	dead := p.Dead || (p.DeadAfter > 0 && n > p.DeadAfter)
+	transient := p.FailEvery > 0 && n%p.FailEvery == 0
+	misreport := p.MisreportEvery > 0 && n%p.MisreportEvery == 0
+	d.mu.Unlock()
+
+	d.clock.Sleep(lat)
+	if dead {
+		return hwsim.Result{}, lat, &DeviceError{Device: d.id, Permanent: true, Msg: "device not responding"}
+	}
+	if transient {
+		return hwsim.Result{}, lat, &DeviceError{Device: d.id, Msg: "measurement RPC dropped"}
+	}
+	res := d.measure(g, chip, opts, seed)
+	if misreport {
+		res.StepTime *= 100
+		res.DenseTime *= 100
+		res.EmbedTime *= 100
+	}
+	return res, lat, nil
+}

@@ -1,0 +1,375 @@
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"h2onas/internal/arch"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/metrics"
+	"h2onas/internal/tensor"
+)
+
+// ErrNoDevices means every device in the pool is dead or breaker-open.
+var ErrNoDevices = errors.New("measure: no devices available")
+
+// Config tunes the farm. The zero value is usable: every field has a
+// production-sane default.
+type Config struct {
+	// Timeout is the per-dispatch completion budget (default 2s). A
+	// dispatch whose device latency exceeds it counts as a transient
+	// failure, feeding the retry loop and the device's breaker.
+	Timeout time.Duration
+	// MaxAttempts bounds the retry loop per logical measurement
+	// (default 4: the first try plus three retries).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between retries (defaults 10ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// HedgeAfter is the hedge delay used until enough latency history
+	// accumulates (default 250ms). Once MinHistory successful
+	// dispatches are recorded, the delay adapts to the fleet's
+	// HedgeQuantile (default 0.95) — the classic "defer hedging until
+	// the P95" rule that bounds extra load at ~5%.
+	HedgeAfter    time.Duration
+	HedgeQuantile float64
+	// MinHistory is how many latency observations adaptive hedging
+	// needs before it trusts the quantile (default 8).
+	MinHistory int
+
+	// Replicas is K in median-of-K: each logical measurement is taken
+	// K times (different seeds, possibly different devices) and the
+	// median StepTime replica is returned, rejecting outliers and
+	// silent corruption (default 3).
+	Replicas int
+	// MinReplicas is how many replicas must succeed for the
+	// measurement to count (default 1: degraded fleets still deliver,
+	// just noisier).
+	MinReplicas int
+
+	// BreakerThreshold consecutive failures open a device's circuit
+	// breaker for BreakerCooldown (defaults 3 and 5s). Permanent
+	// device errors open it forever.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Seed drives backoff jitter and tie-breaking (default 1).
+	Seed uint64
+	// Clock is the time source (nil = wall clock).
+	Clock Clock
+	// Metrics receives the farm's instruments (nil = no-op).
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 250 * time.Millisecond
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 1
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+// deviceState wraps a Device with its breaker bookkeeping.
+type deviceState struct {
+	dev         Device
+	consecutive int
+	openUntil   time.Time
+	dead        bool
+}
+
+type farmInstruments struct {
+	measurements *metrics.Counter   // farm_measurements_total
+	failures     *metrics.Counter   // farm_measurement_failures_total
+	attempts     *metrics.Counter   // farm_attempts_total
+	timeouts     *metrics.Counter   // farm_timeouts_total
+	retries      *metrics.Counter   // farm_retries_total
+	hedges       *metrics.Counter   // farm_hedges_total
+	hedgeWins    *metrics.Counter   // farm_hedge_wins_total
+	breakerOpens *metrics.Counter   // farm_breaker_opens_total
+	deadDevices  *metrics.Gauge     // farm_dead_devices
+	attemptLat   *metrics.Histogram // farm_attempt_seconds
+}
+
+// Farm is a pool of measurement devices with retry, hedging, breaker
+// and replication semantics. It is safe for concurrent use.
+type Farm struct {
+	cfg   Config
+	clock Clock
+	ins   farmInstruments
+
+	mu      sync.Mutex
+	devices []*deviceState
+	next    int // round-robin cursor
+	rng     *tensor.RNG
+	window  [128]float64 // recent successful dispatch latencies (s)
+	wpos    int
+	wlen    int
+}
+
+// NewFarm builds a farm over the device pool.
+func NewFarm(devices []Device, cfg Config) *Farm {
+	cfg = cfg.withDefaults()
+	f := &Farm{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		rng:   tensor.NewRNG(cfg.Seed),
+		ins: farmInstruments{
+			measurements: cfg.Metrics.Counter("farm_measurements_total"),
+			failures:     cfg.Metrics.Counter("farm_measurement_failures_total"),
+			attempts:     cfg.Metrics.Counter("farm_attempts_total"),
+			timeouts:     cfg.Metrics.Counter("farm_timeouts_total"),
+			retries:      cfg.Metrics.Counter("farm_retries_total"),
+			hedges:       cfg.Metrics.Counter("farm_hedges_total"),
+			hedgeWins:    cfg.Metrics.Counter("farm_hedge_wins_total"),
+			breakerOpens: cfg.Metrics.Counter("farm_breaker_opens_total"),
+			deadDevices:  cfg.Metrics.Gauge("farm_dead_devices"),
+			attemptLat:   cfg.Metrics.Histogram("farm_attempt_seconds"),
+		},
+	}
+	for _, d := range devices {
+		f.devices = append(f.devices, &deviceState{dev: d})
+	}
+	return f
+}
+
+// Measure takes one logical hardware measurement: K replicas through the
+// retry/hedge machinery, median-of-K over the successes. It fails only
+// when fewer than MinReplicas replicas survive every retry — i.e. the
+// fleet is effectively gone, not merely degraded.
+func (f *Farm) Measure(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, error) {
+	f.ins.measurements.Inc()
+	results := make([]hwsim.Result, 0, f.cfg.Replicas)
+	var lastErr error
+	for k := 0; k < f.cfg.Replicas; k++ {
+		res, err := f.measureOnce(g, chip, opts, seed+uint64(k)*0x9e3779b97f4a7c15)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		results = append(results, res)
+	}
+	if len(results) < f.cfg.MinReplicas {
+		f.ins.failures.Inc()
+		return hwsim.Result{}, fmt.Errorf("measure: %d/%d replicas succeeded (need %d): %w",
+			len(results), f.cfg.Replicas, f.cfg.MinReplicas, lastErr)
+	}
+	return medianResult(results), nil
+}
+
+// measureOnce is one replica: retry with jittered exponential backoff
+// around hedged dispatch.
+func (f *Farm) measureOnce(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, error) {
+	backoff := f.cfg.BackoffBase
+	var lastErr error = ErrNoDevices
+	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			f.ins.retries.Inc()
+			f.clock.Sleep(f.jittered(backoff))
+			backoff *= 2
+			if backoff > f.cfg.BackoffMax {
+				backoff = f.cfg.BackoffMax
+			}
+		}
+		primary := f.pickDevice(nil)
+		if primary == nil {
+			// Every device dead or breaker-open; the backoff sleep may
+			// let a cooldown expire, so keep trying until attempts run
+			// out.
+			lastErr = ErrNoDevices
+			continue
+		}
+		res, err := f.dispatchHedged(primary, g, chip, opts, seed+uint64(attempt)<<16)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return hwsim.Result{}, fmt.Errorf("measure: all %d attempts failed: %w", f.cfg.MaxAttempts, lastErr)
+}
+
+// dispatchHedged sends the measurement to primary and, if the primary
+// runs past the hedge delay, to a second device; the earliest successful
+// (virtual-time) completion wins. Device latencies are reported by the
+// devices themselves, so with a fake clock the race is decided entirely
+// in virtual time. The two dispatches run sequentially here — the
+// decision semantics match a concurrent hedge, only the farm's own
+// elapsed time is over-counted.
+func (f *Farm) dispatchHedged(primary *deviceState, g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, error) {
+	pres, plat, perr := f.dispatch(primary, g, chip, opts, seed)
+	hedgeDelay := f.hedgeDelay()
+	if plat <= hedgeDelay {
+		// Completed (or failed fast) before a hedge would have fired.
+		return pres, perr
+	}
+	hedge := f.pickDevice(primary)
+	if hedge == nil {
+		return pres, perr
+	}
+	f.ins.hedges.Inc()
+	hres, hlat, herr := f.dispatch(hedge, g, chip, opts, seed^0xda3e39cb94b95bdb)
+
+	// Virtual completion times: primary at plat, hedge at
+	// hedgeDelay+hlat (it started hedgeDelay after the primary).
+	pDone, hDone := plat, hedgeDelay+hlat
+	switch {
+	case perr == nil && (herr != nil || pDone <= hDone):
+		return pres, nil
+	case herr == nil:
+		f.ins.hedgeWins.Inc()
+		return hres, nil
+	default:
+		return hwsim.Result{}, perr
+	}
+}
+
+// dispatch runs one device attempt, applying the per-dispatch timeout
+// and breaker/latency bookkeeping.
+func (f *Farm) dispatch(ds *deviceState, g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, time.Duration, error) {
+	f.ins.attempts.Inc()
+	res, lat, err := ds.dev.Measure(g, chip, opts, seed)
+	f.ins.attemptLat.Observe(lat.Seconds())
+	if err == nil && lat > f.cfg.Timeout {
+		f.ins.timeouts.Inc()
+		err = &DeviceError{Device: ds.dev.ID(), Msg: fmt.Sprintf("timeout after %v (budget %v)", lat, f.cfg.Timeout)}
+		res = hwsim.Result{}
+	}
+	f.observe(ds, lat, err)
+	return res, lat, err
+}
+
+// observe updates breaker state and the latency window after a dispatch.
+func (f *Farm) observe(ds *deviceState, lat time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		ds.consecutive = 0
+		f.window[f.wpos] = lat.Seconds()
+		f.wpos = (f.wpos + 1) % len(f.window)
+		if f.wlen < len(f.window) {
+			f.wlen++
+		}
+		return
+	}
+	ds.consecutive++
+	var derr *DeviceError
+	if errors.As(err, &derr) && derr.Permanent && !ds.dead {
+		ds.dead = true
+		f.ins.deadDevices.Add(1)
+		return
+	}
+	if ds.consecutive >= f.cfg.BreakerThreshold {
+		ds.openUntil = f.clock.Now().Add(f.cfg.BreakerCooldown)
+		f.ins.breakerOpens.Inc()
+	}
+}
+
+// pickDevice returns the next usable device round-robin, skipping dead
+// devices, open breakers, and exclude (the hedge must land elsewhere).
+// A breaker whose cooldown has passed is half-open: eligible again, and
+// re-opened immediately by its next failure.
+func (f *Farm) pickDevice(exclude *deviceState) *deviceState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock.Now()
+	n := len(f.devices)
+	for i := 0; i < n; i++ {
+		ds := f.devices[(f.next+i)%n]
+		if ds == exclude || ds.dead || ds.openUntil.After(now) {
+			continue
+		}
+		f.next = (f.next + i + 1) % n
+		return ds
+	}
+	return nil
+}
+
+// hedgeDelay is the fleet's adaptive hedge trigger: the HedgeQuantile of
+// recent successful dispatch latencies once history has warmed up, the
+// static HedgeAfter before that.
+func (f *Farm) hedgeDelay() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wlen < f.cfg.MinHistory {
+		return f.cfg.HedgeAfter
+	}
+	lat := make([]float64, f.wlen)
+	copy(lat, f.window[:f.wlen])
+	sort.Float64s(lat)
+	idx := int(math.Ceil(f.cfg.HedgeQuantile*float64(f.wlen))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return time.Duration(lat[idx] * float64(time.Second))
+}
+
+// jittered spreads a backoff over [d/2, d) so synchronized clients
+// desynchronize ("full jitter" halved to keep a floor).
+func (f *Farm) jittered(d time.Duration) time.Duration {
+	f.mu.Lock()
+	u := f.rng.Float64()
+	f.mu.Unlock()
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// DeadDevices reports how many devices have failed permanently.
+func (f *Farm) DeadDevices() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, ds := range f.devices {
+		if ds.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// medianResult returns the replica with the median StepTime (lower
+// middle for even counts) — whole-result selection, so the returned
+// breakdown stays internally consistent.
+func medianResult(rs []hwsim.Result) hwsim.Result {
+	sorted := append([]hwsim.Result(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].StepTime < sorted[j].StepTime })
+	return sorted[(len(sorted)-1)/2]
+}

@@ -1,0 +1,331 @@
+package measure
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"h2onas/internal/arch"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/metrics"
+)
+
+// fakeClock advances virtually on Sleep: the whole farm — backoff,
+// cooldowns, hedge races — runs in deterministic virtual time.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1754400000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+}
+
+// Advance moves virtual time without recording a sleep (an operator
+// waiting out a breaker cooldown).
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testGraph() *arch.Graph {
+	g := &arch.Graph{Name: "farm-test", Batch: 8, DTypeBytes: 2}
+	g.Add(arch.DenseOp("fc1", 8, 512, 512, 2))
+	g.Add(arch.DenseOp("fc2", 8, 512, 256, 2))
+	return g
+}
+
+func newTestFarm(t *testing.T, profiles []FaultProfile, cfg Config) (*Farm, *fakeClock, *metrics.Registry) {
+	t.Helper()
+	clock := newFakeClock()
+	reg := metrics.New()
+	devices := make([]Device, len(profiles))
+	for i, p := range profiles {
+		devices[i] = NewSimDevice(string(rune('a'+i)), p, clock, uint64(i+1))
+	}
+	cfg.Clock = clock
+	cfg.Metrics = reg
+	return NewFarm(devices, cfg), clock, reg
+}
+
+func TestHealthyFarmMatchesDirectMeasurement(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	farm, _, reg := newTestFarm(t, make([]FaultProfile, 4), Config{Replicas: 3})
+
+	res, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 7)
+	if err != nil {
+		t.Fatalf("healthy farm failed: %v", err)
+	}
+	// The median replica is one of the three per-seed measurements.
+	var want []float64
+	for k := 0; k < 3; k++ {
+		want = append(want, hwsim.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 7+uint64(k)*0x9e3779b97f4a7c15).StepTime)
+	}
+	found := false
+	for _, w := range want {
+		if res.StepTime == w {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("farm StepTime %v not among replica measurements %v", res.StepTime, want)
+	}
+	if got := reg.Counter("farm_attempts_total").Value(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (one per replica, no retries)", got)
+	}
+	if got := reg.Counter("farm_retries_total").Value(); got != 0 {
+		t.Fatalf("retries = %d, want 0 on a healthy fleet", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	profiles := []FaultProfile{{FailEvery: 2}, {SpikeEvery: 3}, {}, {Dead: true}}
+	run := func() (hwsim.Result, error) {
+		farm, _, _ := newTestFarm(t, profiles, Config{})
+		return farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 42)
+	}
+	r1, err1 := run()
+	r2, err2 := run()
+	if (err1 == nil) != (err2 == nil) || r1.StepTime != r2.StepTime {
+		t.Fatalf("farm is not deterministic: (%v,%v) vs (%v,%v)", r1.StepTime, err1, r2.StepTime, err2)
+	}
+}
+
+func TestTransientFailuresRetryWithBackoff(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// A single always-flaky-every-other-call device: failures must be
+	// retried on the same device after backoff.
+	farm, clock, reg := newTestFarm(t, []FaultProfile{{FailEvery: 2}}, Config{
+		Replicas:         4,
+		BackoffBase:      10 * time.Millisecond,
+		BackoffMax:       80 * time.Millisecond,
+		BreakerThreshold: 5,
+	})
+	_, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 3)
+	if err != nil {
+		t.Fatalf("flaky device should still deliver: %v", err)
+	}
+	if got := reg.Counter("farm_retries_total").Value(); got == 0 {
+		t.Fatal("expected retries against a flaky device")
+	}
+	// Backoff sleeps are jittered into [base/2, base): distinguishable
+	// from the fixed device latencies (≥ ~45ms) recorded by Sleep.
+	sawBackoff := false
+	for _, d := range clock.sleeps {
+		if d >= 5*time.Millisecond && d < 10*time.Millisecond {
+			sawBackoff = true
+		}
+	}
+	if !sawBackoff {
+		t.Fatalf("no jittered backoff sleep in [5ms,10ms): %v", clock.sleeps)
+	}
+}
+
+func TestDeadDeviceTripsBreakerPermanently(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	profiles := []FaultProfile{{Dead: true}, {}, {}}
+	farm, _, reg := newTestFarm(t, profiles, Config{Replicas: 3})
+
+	for i := 0; i < 5; i++ {
+		if _, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, uint64(i)); err != nil {
+			t.Fatalf("measurement %d failed with healthy spares: %v", i, err)
+		}
+	}
+	if farm.DeadDevices() != 1 {
+		t.Fatalf("DeadDevices = %d, want 1", farm.DeadDevices())
+	}
+	if got := reg.Gauge("farm_dead_devices").Value(); got != 1 {
+		t.Fatalf("farm_dead_devices = %v, want 1", got)
+	}
+	// The dead device was tried once, marked permanent, never again.
+	dead := farm.devices[0].dev.(*SimDevice)
+	if dead.Calls() != 1 {
+		t.Fatalf("dead device served %d calls, want exactly 1", dead.Calls())
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// Device a fails every call (transient); device b is healthy.
+	farm, clock, reg := newTestFarm(t, []FaultProfile{{FailEvery: 1}, {}}, Config{
+		Replicas:         1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Second,
+	})
+
+	// Trip a's breaker: each measurement alternates devices round-robin,
+	// so a accumulates consecutive failures until the breaker opens.
+	for i := 0; i < 6; i++ {
+		if _, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, uint64(i)); err != nil {
+			t.Fatalf("measurement %d failed: %v", i, err)
+		}
+	}
+	if got := reg.Counter("farm_breaker_opens_total").Value(); got == 0 {
+		t.Fatal("breaker never opened on an always-failing device")
+	}
+	flaky := farm.devices[0].dev.(*SimDevice)
+	callsWhenOpen := flaky.Calls()
+
+	// While open, the device gets no traffic.
+	for i := 0; i < 3; i++ {
+		if _, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, uint64(10+i)); err != nil {
+			t.Fatalf("measurement with open breaker failed: %v", err)
+		}
+	}
+	if flaky.Calls() != callsWhenOpen {
+		t.Fatalf("breaker-open device got traffic: %d calls, had %d", flaky.Calls(), callsWhenOpen)
+	}
+
+	// After the cooldown it is half-open: tried again.
+	clock.Advance(6 * time.Second)
+	if _, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 99); err != nil {
+		t.Fatalf("measurement after cooldown failed: %v", err)
+	}
+	if flaky.Calls() == callsWhenOpen {
+		t.Fatal("half-open device never retried after cooldown")
+	}
+}
+
+func TestHedgingRacesSlowPrimary(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// Device a spikes every call ×100 (5s ≫ hedge delay); b is fast.
+	farm, _, reg := newTestFarm(t, []FaultProfile{
+		{SpikeEvery: 1, SpikeFactor: 100, JitterFrac: -1},
+		{JitterFrac: -1},
+	}, Config{
+		Replicas:   1,
+		HedgeAfter: 200 * time.Millisecond,
+		Timeout:    30 * time.Second, // spikes are slow, not timeouts
+	})
+
+	res, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 5)
+	if err != nil {
+		t.Fatalf("hedged measurement failed: %v", err)
+	}
+	if res.StepTime <= 0 {
+		t.Fatal("hedged measurement returned empty result")
+	}
+	if got := reg.Counter("farm_hedges_total").Value(); got != 1 {
+		t.Fatalf("farm_hedges_total = %d, want 1", got)
+	}
+	// Primary completes at 5s, hedge at 200ms+50ms: hedge wins.
+	if got := reg.Counter("farm_hedge_wins_total").Value(); got != 1 {
+		t.Fatalf("farm_hedge_wins_total = %d, want 1", got)
+	}
+}
+
+func TestTimeoutCountsAsFailure(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// Sole device always exceeds the 1s budget — every attempt times
+	// out and the measurement fails rather than hanging.
+	farm, _, reg := newTestFarm(t, []FaultProfile{
+		{BaseLatency: 3 * time.Second, JitterFrac: -1},
+	}, Config{
+		Replicas: 1,
+		Timeout:  time.Second,
+	})
+	_, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 1)
+	if err == nil {
+		t.Fatal("want failure when every attempt times out")
+	}
+	if got := reg.Counter("farm_timeouts_total").Value(); got == 0 {
+		t.Fatal("farm_timeouts_total never incremented")
+	}
+}
+
+func TestMedianRejectsMisreportedOutlier(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// One device silently misreports ×100 on every call; median-of-3
+	// across the pool must reject the corruption.
+	farm, _, _ := newTestFarm(t, []FaultProfile{{MisreportEvery: 1}, {}, {}}, Config{Replicas: 3})
+
+	res, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 11)
+	if err != nil {
+		t.Fatalf("measurement failed: %v", err)
+	}
+	truth := hwsim.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 11).StepTime
+	if res.StepTime > truth*2 || res.StepTime < truth/2 {
+		t.Fatalf("median StepTime %v is an outlier (truth ~%v)", res.StepTime, truth)
+	}
+}
+
+func TestAllDevicesDeadFailsCleanly(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	farm, _, reg := newTestFarm(t, []FaultProfile{{Dead: true}, {Dead: true}}, Config{Replicas: 2})
+
+	_, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, 1)
+	if err == nil {
+		t.Fatal("want error when the whole fleet is dead")
+	}
+	if !errors.Is(err, ErrNoDevices) {
+		var derr *DeviceError
+		if !errors.As(err, &derr) {
+			t.Fatalf("error %v carries neither ErrNoDevices nor a DeviceError", err)
+		}
+	}
+	if got := reg.Counter("farm_measurement_failures_total").Value(); got != 1 {
+		t.Fatalf("farm_measurement_failures_total = %d, want 1", got)
+	}
+}
+
+func TestDegradedFleetStillDelivers(t *testing.T) {
+	g, chip := testGraph(), hwsim.TPUv4()
+	// The acceptance scenario: 50% flaky fleet + one dead device.
+	profiles := []FaultProfile{
+		{FailEvery: 2}, {FailEvery: 2}, // flaky half
+		{}, {},
+		{Dead: true},
+	}
+	farm, _, _ := newTestFarm(t, profiles, Config{Replicas: 3, MinReplicas: 2})
+
+	ok := 0
+	for i := 0; i < 20; i++ {
+		res, err := farm.Measure(g, chip, hwsim.Options{Mode: hwsim.Inference}, uint64(i))
+		if err != nil {
+			continue
+		}
+		if res.StepTime <= 0 || math.IsNaN(res.StepTime) {
+			t.Fatalf("measurement %d returned garbage: %+v", i, res)
+		}
+		ok++
+	}
+	if ok < 18 {
+		t.Fatalf("degraded fleet delivered %d/20 measurements, want ≥ 18", ok)
+	}
+}
+
+func TestAdaptiveHedgeDelayTracksP95(t *testing.T) {
+	farm, _, _ := newTestFarm(t, make([]FaultProfile, 1), Config{
+		HedgeAfter: 250 * time.Millisecond,
+		MinHistory: 4,
+	})
+	// Before warmup: the static delay.
+	if got := farm.hedgeDelay(); got != 250*time.Millisecond {
+		t.Fatalf("cold hedge delay = %v, want 250ms", got)
+	}
+	// Feed a known latency distribution through observe.
+	ds := farm.devices[0]
+	for _, ms := range []int{40, 45, 50, 55, 60, 1000} {
+		farm.observe(ds, time.Duration(ms)*time.Millisecond, nil)
+	}
+	got := farm.hedgeDelay()
+	if got != time.Second {
+		t.Fatalf("P95 hedge delay = %v, want 1s (the slowest of 6)", got)
+	}
+}

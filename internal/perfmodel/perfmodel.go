@@ -57,10 +57,11 @@ type Model struct {
 	serveMean, serveStd float64
 
 	// Inference instruments (nil-safe no-ops until SetMetrics).
-	predictCalls   *metrics.Counter
-	predictLatency *metrics.Histogram
-	trainRuns      *metrics.Counter
-	trainLatency   *metrics.Histogram
+	predictCalls    *metrics.Counter
+	predictLatency  *metrics.Histogram
+	trainRuns       *metrics.Counter
+	trainLatency    *metrics.Histogram
+	finetuneSamples *metrics.Gauge
 }
 
 // SetMetrics installs the registry receiving the model's telemetry:
@@ -74,6 +75,7 @@ func (m *Model) SetMetrics(r *metrics.Registry) {
 	m.predictLatency = r.Histogram("perfmodel_predict_seconds")
 	m.trainRuns = r.Counter("perfmodel_train_runs_total")
 	m.trainLatency = r.Histogram("perfmodel_train_seconds")
+	m.finetuneSamples = r.Gauge("perfmodel_finetune_samples")
 }
 
 // New builds an untrained model for featDim input features with the given
@@ -114,9 +116,19 @@ func (m *Model) Pretrain(samples []Sample, cfg TrainConfig) error {
 // FineTune continues training on measured samples without refitting the
 // normalization (the measurement distribution is tiny and shifted — that
 // shift is exactly what the network must learn).
+//
+// The measured set may be smaller than planned when it came from a
+// degraded measurement farm: FineTune accepts any non-empty set, clamps
+// the batch size down to the set when needed, and reports the count via
+// the perfmodel_finetune_samples gauge so operators can see that the
+// model was tuned on thin (noisier) data.
 func (m *Model) FineTune(samples []Sample, cfg TrainConfig) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("perfmodel: no fine-tuning samples")
+	}
+	m.finetuneSamples.Set(float64(len(samples)))
+	if cfg.BatchSize > len(samples) {
+		cfg.BatchSize = len(samples)
 	}
 	return m.train(samples, cfg)
 }

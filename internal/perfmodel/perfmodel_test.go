@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"h2onas/internal/metrics"
 	"h2onas/internal/tensor"
 )
 
@@ -164,4 +165,40 @@ func TestNewValidates(t *testing.T) {
 		}
 	}()
 	New(0, nil, 1)
+}
+
+func TestFineTuneDegradedSampleSet(t *testing.T) {
+	// A degraded measurement farm can deliver fewer samples than the
+	// configured batch size; FineTune must clamp rather than reject, and
+	// must report the thin set through its gauge.
+	m := smallModel(8)
+	sim := synthSamples(1200, testFeatDim, 1.0, 80)
+	if err := m.Pretrain(sim, fastPretrain()); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	m.SetMetrics(reg)
+
+	measured := synthSamples(5, testFeatDim, 1.3, 81)
+	cfg := DefaultFineTuneConfig() // BatchSize 8 > 5 samples
+	cfg.Epochs = 50
+	if err := m.FineTune(measured, cfg); err != nil {
+		t.Fatalf("FineTune on 5 samples: %v", err)
+	}
+	if got := reg.Gauge("perfmodel_finetune_samples").Value(); got != 5 {
+		t.Fatalf("perfmodel_finetune_samples = %v, want 5", got)
+	}
+
+	// Even the thin set must move predictions toward the shifted
+	// distribution.
+	holdout := synthSamples(400, testFeatDim, 1.3, 82)
+	fresh := smallModel(8)
+	if err := fresh.Pretrain(sim, fastPretrain()); err != nil {
+		t.Fatal(err)
+	}
+	pre := fresh.NRMSE(holdout, TrainHead)
+	post := m.NRMSE(holdout, TrainHead)
+	if post >= pre {
+		t.Fatalf("thin fine-tune did not help: NRMSE %.4f -> %.4f", pre, post)
+	}
 }
