@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON document, and optionally compares it against a committed
+// baseline. It exists so CI can archive benchmark runs as machine-readable
+// artifacts (BENCH_search.json) and print an informational drift report
+// without pulling in external tooling.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkSearch -benchmem ./internal/core | benchjson -o BENCH_search.json
+//	benchjson -baseline BENCH_search.json -o /dev/null < bench.txt   # compare, never fails
+//
+// The comparison is informational by design: wall-clock numbers from shared
+// CI runners are too noisy to gate a merge on, but a 2x drift is still
+// worth a loud line in the log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Metrics maps unit → value for
+// every "value unit" pair after the iteration count (ns/op, B/op,
+// allocs/op, and any testing.B ReportMetric extras).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output path for the JSON report (- for stdout)")
+	baseline := flag.String("baseline", "", "optional baseline JSON to diff against (informational, never fails)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if err := compare(*baseline, rep); err != nil {
+			// Informational: report and move on.
+			fmt.Fprintf(os.Stderr, "benchjson: baseline compare skipped: %v\n", err)
+		}
+	}
+}
+
+// parse reads `go test -bench` text and collects benchmark lines plus the
+// goos/goarch/pkg/cpu header stamps.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// compare prints a benchstat-style delta table of new vs baseline for the
+// metrics both sides report. It never fails the run.
+func compare(path string, cur *Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: informational compare vs %s\n", path)
+	for _, b := range cur.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  %-28s (new benchmark, no baseline)\n", b.Name)
+			continue
+		}
+		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+			nv, nok := b.Metrics[unit]
+			ov, ook := old.Metrics[unit]
+			if !nok || !ook || ov == 0 {
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			fmt.Fprintf(os.Stderr, "  %-28s %12.0f → %12.0f %-10s %+6.1f%%\n", b.Name, ov, nv, unit, delta)
+		}
+	}
+	return nil
+}

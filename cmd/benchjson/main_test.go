@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: h2onas/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchStep 	      60	  33567787 ns/op	 2308235 B/op	    5688 allocs/op
+BenchmarkSearchStepWarmup 	      60	  30000000 ns/op	 2000000 B/op	    5000 allocs/op
+PASS
+ok  	h2onas/internal/core	2.128s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "h2onas/internal/core" {
+		t.Fatalf("header stamps = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSearchStep" || b.Iterations != 60 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 33567787 || b.Metrics["B/op"] != 2308235 || b.Metrics["allocs/op"] != 5688 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken abc def\nBenchmarkOK 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"h2onas/internal/datapipe"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+)
+
+// benchmarkSearcher builds the default small-DLRM searcher used by the
+// step-throughput benchmarks (the same construction as testSearcher,
+// without a testing.T).
+func benchmarkSearcher(seed uint64) *Searcher {
+	ds := space.NewDLRMSpace(space.SmallDLRMConfig())
+	obj := &DLRMObjectives{DS: ds, Chip: hwsim.TPUv4()}
+	base := obj.BaselinePerf()
+	rw := reward.MustNew(reward.ReLU,
+		reward.Objective{Name: "train_step_time", Target: base[0], Beta: -2},
+		reward.Objective{Name: "serving_memory", Target: base[1], Beta: -1},
+	)
+	stream := datapipe.NewStream(datapipe.CTRConfig{
+		NumTables: ds.Config.NumTables,
+		Vocab:     ds.Config.BaseVocab,
+		NumDense:  ds.Config.NumDense,
+	}, seed)
+	return &Searcher{DS: ds, Reward: rw, Perf: obj.Perf, Stream: stream}
+}
+
+// BenchmarkSearchStep measures end-to-end unified single-step throughput
+// at the default configuration (8 shards, batch 64) over the small DLRM
+// space: one benchmark iteration is one full search step, including
+// sampling, the shard fan-out, the cross-shard policy and weight updates,
+// and reward/perf evaluation. This is the headline number BENCH_search.json
+// tracks.
+func BenchmarkSearchStep(b *testing.B) {
+	s := benchmarkSearcher(7)
+	cfg := DefaultConfig() // 8 shards, batch 64
+	cfg.Steps = b.N
+	cfg.WarmupSteps = 0
+	b.ResetTimer()
+	if _, err := s.Search(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSearchStepWarmup measures warmup-phase steps (weight training
+// only, no policy update) at the default configuration.
+func BenchmarkSearchStepWarmup(b *testing.B) {
+	s := benchmarkSearcher(11)
+	cfg := DefaultConfig()
+	cfg.Steps = 1
+	cfg.WarmupSteps = b.N
+	b.ResetTimer()
+	if _, err := s.Search(cfg); err != nil {
+		b.Fatal(err)
+	}
+}

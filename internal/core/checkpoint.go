@@ -67,21 +67,20 @@ func (s *Searcher) snapshot(cfg *Config, nextStep int, batchesConsumed int64,
 	}
 }
 
-// maybeCheckpoint writes a periodic snapshot after step completed. A
-// failed write is logged and counted but never kills the search — the
-// run keeps going and the next interval tries again.
-func (s *Searcher) maybeCheckpoint(cfg *Config, mgr *checkpoint.Manager, sm SearchMetrics,
+// maybeCheckpoint captures a periodic snapshot after step completed and
+// hands it to the async persister. The snapshot itself is taken
+// synchronously — it is a deep copy, so the step loop is free to keep
+// mutating the live state — while encoding and the file write happen off
+// the step loop. A failed write is logged and counted by the persister
+// but never kills the search.
+func (s *Searcher) maybeCheckpoint(cfg *Config, ck *asyncCheckpointer,
 	step int, batchesConsumed int64, rng *tensor.RNG, ctrl *controller.Controller,
 	master *supernet.Supernet, opt *nn.Adam, hist []StepInfo) {
 
-	if mgr == nil || cfg.CheckpointEvery <= 0 || (step+1)%cfg.CheckpointEvery != 0 {
+	if ck == nil || cfg.CheckpointEvery <= 0 || (step+1)%cfg.CheckpointEvery != 0 {
 		return
 	}
-	snap := s.snapshot(cfg, step+1, batchesConsumed, rng, ctrl, master, opt, hist)
-	if _, err := mgr.Save(snap); err != nil {
-		sm.CheckpointFailures.Inc()
-		log.Printf("core: checkpoint at step %d failed (search continues): %v", step+1, err)
-	}
+	ck.enqueue(s.snapshot(cfg, step+1, batchesConsumed, rng, ctrl, master, opt, hist))
 }
 
 // maybeRestore applies cfg.ResumeSnapshot (or, under cfg.Resume, the

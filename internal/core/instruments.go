@@ -40,8 +40,12 @@ type SearchMetrics struct {
 
 	// Checkpoint/restore telemetry. Save latency, size and corruption
 	// counters live on the checkpoint manager under checkpoint_*; these
-	// cover the search loop's side of the contract.
+	// cover the search loop's side of the contract. Pending is the number
+	// of snapshots handed to the async persister but not yet durable
+	// (0 or 1 in steady state); Written counts successful async writes.
 	CheckpointFailures *metrics.Counter
+	CheckpointsWritten *metrics.Counter
+	CheckpointPending  *metrics.Gauge
 	ResumedAt          *metrics.Gauge
 }
 
@@ -72,6 +76,8 @@ func NewSearchMetrics(r *metrics.Registry) SearchMetrics {
 		StepsSkipped:  r.Counter("search_steps_skipped_total"),
 
 		CheckpointFailures: r.Counter("search_checkpoint_failures_total"),
+		CheckpointsWritten: r.Counter("search_checkpoints_written_total"),
+		CheckpointPending:  r.Gauge("search_checkpoint_pending"),
 		ResumedAt:          r.Gauge("search_resumed_at_step"),
 	}
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+
+	"h2onas/internal/metrics"
+	"h2onas/internal/space"
+)
+
+// DefaultPerfCacheSize is the LRU capacity used when Config.PerfCacheSize
+// is zero. The policy resamples the same high-probability candidates more
+// and more often as it converges, so even a modest cache absorbs most of
+// the per-step performance-model evaluations late in a search.
+const DefaultPerfCacheSize = 4096
+
+// MemoizedPerf wraps a PerfFunc with an assignment-keyed LRU cache. The
+// search loop evaluates T(α) for every sampled candidate every step; as
+// the policy sharpens, the same assignments recur and the (deterministic)
+// performance model or analytic cost function is pure, so its results can
+// be reused. Hits and misses are exported as perf_cache_hits_total and
+// perf_cache_misses_total.
+//
+// Eval returns the cached slice itself, not a copy — callers must treat
+// the result as read-only (the search loop only reads it, and so must any
+// user-provided reward function).
+//
+// MemoizedPerf is safe for concurrent use.
+type MemoizedPerf struct {
+	fn  PerfFunc
+	cap int
+
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+
+	hits   *metrics.Counter
+	misses *metrics.Counter
+}
+
+type perfEntry struct {
+	key  string
+	perf []float64
+}
+
+// NewMemoizedPerf wraps fn in an LRU of the given capacity (0 means
+// DefaultPerfCacheSize; negative returns nil, meaning "don't memoize" —
+// a nil *MemoizedPerf is valid and calls through without caching).
+// Metrics are resolved from r (nil-safe).
+func NewMemoizedPerf(fn PerfFunc, capacity int, r *metrics.Registry) *MemoizedPerf {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultPerfCacheSize
+	}
+	return &MemoizedPerf{
+		fn:     fn,
+		cap:    capacity,
+		items:  make(map[string]*list.Element, capacity),
+		order:  list.New(),
+		hits:   r.Counter("perf_cache_hits_total"),
+		misses: r.Counter("perf_cache_misses_total"),
+	}
+}
+
+// perfKey encodes an assignment as a compact string key. Decision indices
+// are small, but 16 bits each keeps the encoding safe for any realistic
+// arity without variable-length framing.
+func perfKey(a space.Assignment) string {
+	buf := make([]byte, 2*len(a))
+	for i, v := range a {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	return string(buf)
+}
+
+// Eval returns fn(a), memoized. The returned slice is shared with the
+// cache: read-only.
+func (m *MemoizedPerf) Eval(a space.Assignment) []float64 {
+	if m == nil {
+		return nil
+	}
+	key := perfKey(a)
+	m.mu.Lock()
+	if el, ok := m.items[key]; ok {
+		m.order.MoveToFront(el)
+		perf := el.Value.(*perfEntry).perf
+		m.mu.Unlock()
+		m.hits.Inc()
+		return perf
+	}
+	m.mu.Unlock()
+
+	// Compute outside the lock: PerfFunc may be expensive (a performance
+	// model forward pass), and concurrent Evals of distinct assignments
+	// should not serialize on it. A racing duplicate computation of the
+	// same key is wasted work but harmless — the function is pure.
+	m.misses.Inc()
+	perf := m.fn(a)
+
+	m.mu.Lock()
+	if el, ok := m.items[key]; ok {
+		// Lost a race with another Eval of the same key; keep the first.
+		m.order.MoveToFront(el)
+		perf = el.Value.(*perfEntry).perf
+	} else {
+		m.items[key] = m.order.PushFront(&perfEntry{key: key, perf: perf})
+		for m.order.Len() > m.cap {
+			oldest := m.order.Back()
+			m.order.Remove(oldest)
+			delete(m.items, oldest.Value.(*perfEntry).key)
+		}
+	}
+	m.mu.Unlock()
+	return perf
+}
+
+// Func adapts the memoized cache back to a plain PerfFunc. A nil receiver
+// returns nil, so callers can fall back to the raw function:
+//
+//	if mp := NewMemoizedPerf(fn, size, reg); mp != nil { fn = mp.Func() }
+func (m *MemoizedPerf) Func() PerfFunc {
+	if m == nil {
+		return nil
+	}
+	return m.Eval
+}
+
+// Len reports the number of cached assignments.
+func (m *MemoizedPerf) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"h2onas/internal/checkpoint"
@@ -71,6 +70,20 @@ type Config struct {
 	// controller and data pipeline). nil — equivalently metrics.Nop() —
 	// keeps the hot path free of observability overhead.
 	Metrics *metrics.Registry
+
+	// PerfCacheSize bounds the assignment-keyed LRU that memoizes Perf
+	// during the search (the performance model is pure, and a converging
+	// policy resamples the same candidates). 0 uses DefaultPerfCacheSize;
+	// negative disables memoization entirely. Cache effectiveness is
+	// exported as perf_cache_hits_total / perf_cache_misses_total.
+	PerfCacheSize int
+	// MaxCandidates bounds Result.Candidates: when > 0 only the newest
+	// MaxCandidates evaluated candidates are retained (oldest evicted
+	// first); 0 keeps every candidate, the historical behaviour. Long
+	// searches at high shard counts produce Shards·Steps candidates, so
+	// bounding keeps Result memory flat without touching the telemetry
+	// History.
+	MaxCandidates int
 
 	// CheckpointEvery, together with CheckpointDir, writes a full-state
 	// snapshot every CheckpointEvery steps (warmup steps count). 0
@@ -156,7 +169,9 @@ type Result struct {
 	// History is per-step telemetry.
 	History []StepInfo
 	// Candidates is every (α, Q, T, R) evaluated during the search — the
-	// raw material for the Figure 5 Pareto analyses.
+	// raw material for the Figure 5 Pareto analyses. When
+	// Config.MaxCandidates > 0 only the newest MaxCandidates entries are
+	// retained, in arrival order.
 	Candidates []Candidate
 	// ExamplesSeen is the total number of traffic examples consumed.
 	ExamplesSeen int64
@@ -238,6 +253,38 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	pipe := datapipe.NewPipelineWithMetrics(s.Stream, cfg.BatchSize, cfg.Shards*2, cfg.Metrics)
 	defer pipe.Close()
 
+	// Each replica gets its own arena so a steady-state step performs no
+	// matrix allocations: intermediates are recycled at the top of every
+	// Forward. One arena per shard because arenas are single-goroutine.
+	// Drained on exit so the pooled buffers return to the global pools.
+	arenas := make([]*tensor.Arena, cfg.Shards)
+	for i := range replicas {
+		arenas[i] = tensor.NewArena()
+		replicas[i].SetArena(arenas[i])
+	}
+	defer func() {
+		for i, a := range arenas {
+			replicas[i].SetArena(nil)
+			a.Release()
+			a.Drain()
+		}
+	}()
+
+	// Perf is pure, so memoize it for the duration of the run. perfFn is
+	// what the step loop and the final Best evaluation call.
+	perfFn := s.Perf
+	if mp := NewMemoizedPerf(s.Perf, cfg.PerfCacheSize, cfg.Metrics); mp != nil {
+		perfFn = mp.Eval
+	}
+
+	// Checkpoint encoding + I/O runs on a persister goroutine; Close is
+	// deferred so every snapshot captured by the loop is durable before
+	// Search returns.
+	ckpt := newAsyncCheckpointer(mgr, sm)
+	defer ckpt.Close()
+
+	cands := NewCandidateRing(cfg.MaxCandidates)
+
 	assignments := make([]space.Assignment, cfg.Shards)
 	qualities := make([]float64, cfg.Shards)
 	batches := make([]*datapipe.Batch, cfg.Shards)
@@ -256,7 +303,61 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		clk = checkpoint.RealClock()
 	}
 
-	maxA := maxAssignment(s.DS.Space)
+	// Long-lived shard workers. Spawning cfg.Shards goroutines per step
+	// costs a stack setup and scheduler churn every step; instead each
+	// shard gets one worker for the whole run, fed step numbers over its
+	// own single-slot channel. The coordinator's send on work[i]
+	// happens-before the worker's read of that step's assignment/batch,
+	// and the worker's send on stepDone happens-before the coordinator's
+	// read of qualities/alive — the same memory-ordering guarantees the
+	// per-step WaitGroup used to provide.
+	work := make([]chan int, cfg.Shards)
+	stepDone := make(chan struct{}, cfg.Shards)
+	for i := range work {
+		work[i] = make(chan int, 1)
+		go func(i int) {
+			for step := range work[i] {
+				shardSpan := sm.ShardTime.Start()
+				for attempt := 0; ; attempt++ {
+					if cfg.ShardFault != nil {
+						if err := cfg.ShardFault(step, i, attempt); err != nil {
+							sm.ShardFailures.Inc()
+							if attempt >= retries {
+								// Permanent for this step: drop the shard
+								// from the cross-shard reduce.
+								sm.ShardsDropped.Inc()
+								break
+							}
+							sm.ShardRetries.Inc()
+							clk.Sleep(backoff << attempt)
+							continue
+						}
+					}
+					b := batches[i]
+					// Stage 1: fresh data is consumed by architecture
+					// learning first…
+					b.UseForArch()
+					loss, dout := replicas[i].Loss(assignments[i], b)
+					qualities[i] = 1 - loss/ln2
+					// Stage 3: …and only then by weight training, on the
+					// same batch and candidate.
+					b.UseForWeights()
+					replicas[i].Backward(dout)
+					alive[i] = true
+					break
+				}
+				shardSpan.End()
+				stepDone <- struct{}{}
+			}
+		}(i)
+	}
+	defer func() {
+		for _, w := range work {
+			close(w)
+		}
+	}()
+
+	maxA := MaxAssignment(s.DS.Space)
 	for step := startStep; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
 		stepSpan := sm.StepTime.Start()
@@ -291,45 +392,13 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		sampleSpan.End()
 
 		fanoutSpan := sm.FanoutTime.Start()
-		var wg sync.WaitGroup
 		for i := 0; i < cfg.Shards; i++ {
 			alive[i] = false
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				shardSpan := sm.ShardTime.Start()
-				defer shardSpan.End()
-				for attempt := 0; ; attempt++ {
-					if cfg.ShardFault != nil {
-						if err := cfg.ShardFault(step, i, attempt); err != nil {
-							sm.ShardFailures.Inc()
-							if attempt >= retries {
-								// Permanent for this step: drop the shard
-								// from the cross-shard reduce.
-								sm.ShardsDropped.Inc()
-								return
-							}
-							sm.ShardRetries.Inc()
-							clk.Sleep(backoff << attempt)
-							continue
-						}
-					}
-					b := batches[i]
-					// Stage 1: fresh data is consumed by architecture
-					// learning first…
-					b.UseForArch()
-					loss, dout := replicas[i].Loss(assignments[i], b)
-					qualities[i] = 1 - loss/ln2
-					// Stage 3: …and only then by weight training, on the
-					// same batch and candidate.
-					b.UseForWeights()
-					replicas[i].Backward(dout)
-					alive[i] = true
-					return
-				}
-			}(i)
+			work[i] <- step
 		}
-		wg.Wait()
+		for n := 0; n < cfg.Shards; n++ {
+			<-stepDone
+		}
 		fanoutSpan.End()
 
 		// Collect the shards that completed the step; dropped shards
@@ -347,7 +416,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			// Degrade by skipping the updates rather than killing the run.
 			sm.StepsSkipped.Inc()
 			stepSpan.End()
-			s.maybeCheckpoint(&cfg, mgr, sm, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+			s.maybeCheckpoint(&cfg, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 			continue
 		}
 
@@ -367,11 +436,11 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				if !alive[i] {
 					continue
 				}
-				perf := s.Perf(assignments[i])
+				perf := perfFn(assignments[i])
 				rw := s.Reward.Eval(qualities[i], perf)
 				policySamples = append(policySamples, assignments[i])
 				rewards = append(rewards, rw)
-				res.Candidates = append(res.Candidates, Candidate{
+				cands.Add(Candidate{
 					Step:       step - cfg.WarmupSteps,
 					Assignment: append(space.Assignment(nil), assignments[i]...),
 					Quality:    qualities[i],
@@ -410,17 +479,27 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 		stepSpan.End()
 
-		s.maybeCheckpoint(&cfg, mgr, sm, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+		s.maybeCheckpoint(&cfg, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 	}
 
 	res.Best = ctrl.Policy.MostProbable()
 	res.BestArch = s.DS.Decode(res.Best)
-	res.BestPerf = s.Perf(res.Best)
-	// Final quality on a large fresh batch: forward-only, so the extra
-	// examples are cheap and cut evaluation noise.
-	final := s.Stream.NextBatch(cfg.BatchSize * 16)
-	final.UseForArch()
-	res.FinalQuality = master.Quality(res.Best, final)
+	res.BestPerf = perfFn(res.Best)
+	res.Candidates = cands.Items()
+	// Final quality on 16 large fresh batches: forward-only, so the extra
+	// examples are cheap and cut evaluation noise. They are drawn through
+	// the pipeline, not the stream directly: the pipeline's producer is the
+	// stream's only client, so the data each batch sees is a deterministic
+	// function of the consumed-batch count — independent of how far ahead
+	// the producer happens to have prefetched — which keeps FinalQuality
+	// bit-reproducible across resumed runs.
+	var finalQ float64
+	for j := 0; j < 16; j++ {
+		final := pipe.Next()
+		final.UseForArch()
+		finalQ += master.Quality(res.Best, final)
+	}
+	res.FinalQuality = finalQ / 16
 	res.ExamplesSeen = s.Stream.ExamplesServed()
 	sm.Examples.Add(res.ExamplesSeen)
 	return res, nil
@@ -428,17 +507,17 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 
 const ln2 = 0.6931471805599453
 
-// maxAssignment selects the largest option of every decision (widest,
-// deepest, fullest-rank candidate).
-func maxAssignment(sp *space.Space) space.Assignment {
+// MaxAssignment selects the largest option of every decision (widest,
+// deepest, fullest-rank candidate) — a direct argmax over each decision's
+// values. The sandwich shard trains this maximal sub-network every step.
+func MaxAssignment(sp *space.Space) space.Assignment {
 	a := make(space.Assignment, len(sp.Decisions))
 	for i, d := range sp.Decisions {
 		best := 0
-		for j, v := range d.Values {
-			if v > d.Values[best] {
+		for j := 1; j < len(d.Values); j++ {
+			if d.Values[j] > d.Values[best] {
 				best = j
 			}
-			_ = v
 		}
 		a[i] = best
 	}

@@ -138,6 +138,10 @@ func sigmoid(x float64) float64 {
 type ActivationLayer struct {
 	Act Activation
 
+	// Arena, when set, owns the layer's outputs (valid until its next
+	// Release); nil falls back to heap allocation.
+	Arena *tensor.Arena
+
 	input *tensor.Matrix // cached for Backward
 }
 
@@ -146,10 +150,29 @@ func NewActivationLayer(act Activation) *ActivationLayer {
 	return &ActivationLayer{Act: act}
 }
 
-// Forward applies the activation elementwise, caching the input.
+// Forward applies the activation elementwise, caching the input. ReLU and
+// Identity — the activations on the search hot path — run as specialized
+// loops instead of a per-element indirect call.
 func (l *ActivationLayer) Forward(x *tensor.Matrix) *tensor.Matrix {
 	l.input = x
-	return tensor.Apply(x, l.Act.Apply)
+	out := l.Arena.GetNoZero(x.Rows, x.Cols)
+	switch l.Act {
+	case Identity:
+		copy(out.Data, x.Data)
+	case ReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	default:
+		for i, v := range x.Data {
+			out.Data[i] = l.Act.Apply(v)
+		}
+	}
+	return out
 }
 
 // Backward returns grad ⊙ act'(input).
@@ -157,9 +180,22 @@ func (l *ActivationLayer) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.input == nil {
 		panic("nn: ActivationLayer.Backward before Forward")
 	}
-	out := tensor.New(grad.Rows, grad.Cols)
-	for i := range grad.Data {
-		out.Data[i] = grad.Data[i] * l.Act.Derivative(l.input.Data[i])
+	out := l.Arena.GetNoZero(grad.Rows, grad.Cols)
+	switch l.Act {
+	case Identity:
+		copy(out.Data, grad.Data)
+	case ReLU:
+		for i, v := range l.input.Data {
+			if v > 0 {
+				out.Data[i] = grad.Data[i]
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	default:
+		for i := range grad.Data {
+			out.Data[i] = grad.Data[i] * l.Act.Derivative(l.input.Data[i])
+		}
 	}
 	return out
 }

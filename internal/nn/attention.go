@@ -23,10 +23,20 @@ type MaskedAttention struct {
 
 	seq, activeDim int
 
+	arena *tensor.Arena
+
 	// Forward caches for Backward.
 	q, k, v *tensor.Matrix
 	probs   []*tensor.Matrix // per (batch·head) attention matrices, seq×seq
 	ctx     *tensor.Matrix
+}
+
+// SetArena threads an arena through the attention slot and its four
+// projection layers; all intermediates (including the Forward caches)
+// become valid only until the arena's next Release.
+func (l *MaskedAttention) SetArena(a *tensor.Arena) {
+	l.arena = a
+	l.Wq.Arena, l.Wk.Arena, l.Wv.Arena, l.Wo.Arena = a, a, a, a
 }
 
 // NewMaskedAttention returns an attention slot for up to maxDim hidden
@@ -81,17 +91,22 @@ func (l *MaskedAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: MaskedAttention rows %d not divisible by seq %d", x.Rows, l.seq))
 	}
 	batch := x.Rows / l.seq
-	for _, w := range []*MaskedDense{l.Wq, l.Wk, l.Wv, l.Wo} {
-		w.SetActive(l.activeDim, l.activeDim)
-	}
+	l.Wq.SetActive(l.activeDim, l.activeDim)
+	l.Wk.SetActive(l.activeDim, l.activeDim)
+	l.Wv.SetActive(l.activeDim, l.activeDim)
+	l.Wo.SetActive(l.activeDim, l.activeDim)
 	l.q = l.Wq.Forward(x)
 	l.k = l.Wk.Forward(x)
 	l.v = l.Wv.Forward(x)
 
 	nHeads, dh := l.heads()
 	scale := 1 / math.Sqrt(float64(dh))
-	l.ctx = tensor.New(x.Rows, l.activeDim)
-	l.probs = make([]*tensor.Matrix, batch*nHeads)
+	l.ctx = l.arena.Get(x.Rows, l.activeDim)
+	if cap(l.probs) < batch*nHeads {
+		l.probs = make([]*tensor.Matrix, batch*nHeads)
+	}
+	l.probs = l.probs[:batch*nHeads]
+	scores := l.arena.GetNoZero(l.seq, l.seq)
 
 	for b := 0; b < batch; b++ {
 		for h := 0; h < nHeads; h++ {
@@ -102,7 +117,6 @@ func (l *MaskedAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
 			}
 			w := hi - lo
 			// Scores: seq×seq.
-			scores := tensor.New(l.seq, l.seq)
 			for i := 0; i < l.seq; i++ {
 				qi := l.q.Row(b*l.seq + i)[lo:hi]
 				for j := 0; j < l.seq; j++ {
@@ -114,9 +128,9 @@ func (l *MaskedAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
 					scores.Set(i, j, s*scale)
 				}
 			}
-			probs := tensor.New(l.seq, l.seq)
+			probs := l.arena.GetNoZero(l.seq, l.seq)
 			for i := 0; i < l.seq; i++ {
-				copy(probs.Row(i), Softmax(scores.Row(i)))
+				SoftmaxInto(scores.Row(i), probs.Row(i))
 			}
 			l.probs[b*nHeads+h] = probs
 			// Context: P·V.
@@ -150,9 +164,10 @@ func (l *MaskedAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	scale := 1 / math.Sqrt(float64(dh))
 
 	dCtx := l.Wo.Backward(grad)
-	dQ := tensor.New(grad.Rows, l.activeDim)
-	dK := tensor.New(grad.Rows, l.activeDim)
-	dV := tensor.New(grad.Rows, l.activeDim)
+	dQ := l.arena.Get(grad.Rows, l.activeDim)
+	dK := l.arena.Get(grad.Rows, l.activeDim)
+	dV := l.arena.Get(grad.Rows, l.activeDim)
+	dP := l.arena.GetNoZero(l.seq, l.seq)
 
 	for b := 0; b < batch; b++ {
 		for h := 0; h < nHeads; h++ {
@@ -164,7 +179,6 @@ func (l *MaskedAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			w := hi - lo
 			probs := l.probs[b*nHeads+h]
 			// dP[i][j] = dCtx_i · V_j ; dV_j += Σ_i P[i][j]·dCtx_i.
-			dP := tensor.New(l.seq, l.seq)
 			for i := 0; i < l.seq; i++ {
 				dci := dCtx.Row(b*l.seq + i)[lo:hi]
 				prow := probs.Row(i)

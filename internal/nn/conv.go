@@ -148,6 +148,7 @@ func (l *MaskedConv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.cols == nil {
 		panic("nn: MaskedConv2D.Backward before Forward")
 	}
+	l.W.Dirty, l.B.Dirty = true, true
 	oh, ow := l.outH, l.outW
 	k, s, ci, co := l.Kernel, l.Stride, l.activeIn, l.activeOut
 	if grad.Cols != oh*ow*co {

@@ -118,6 +118,7 @@ func (l *MaskedDepthwiseConv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.input == nil {
 		panic("nn: MaskedDepthwiseConv2D.Backward before Forward")
 	}
+	l.W.Dirty, l.B.Dirty = true, true
 	oh, ow := l.outH, l.outW
 	k, s, c := l.Kernel, l.Stride, l.activeC
 	if grad.Cols != oh*ow*c {

@@ -18,6 +18,10 @@ import (
 type Embedding struct {
 	Table *Param // vocab×maxWidth
 
+	// Arena, when set, owns the pooled output matrices (valid until its
+	// next Release); nil falls back to heap allocation.
+	Arena *tensor.Arena
+
 	activeWidth int
 	activeVocab int
 	lastIndices [][]int
@@ -60,7 +64,7 @@ func (e *Embedding) Active() (width, vocab int) { return e.activeWidth, e.active
 // producing a batch×activeWidth matrix. Empty bags produce zero vectors.
 func (e *Embedding) Forward(indices [][]int) *tensor.Matrix {
 	e.lastIndices = indices
-	out := tensor.New(len(indices), e.activeWidth)
+	out := e.Arena.Get(len(indices), e.activeWidth)
 	for i, bag := range indices {
 		if len(bag) == 0 {
 			continue
@@ -68,10 +72,7 @@ func (e *Embedding) Forward(indices [][]int) *tensor.Matrix {
 		orow := out.Row(i)
 		inv := 1 / float64(len(bag))
 		for _, idx := range bag {
-			row := e.Table.Value.Row(e.fold(idx))[:e.activeWidth]
-			for j, v := range row {
-				orow[j] += v * inv
-			}
+			tensor.Axpy(orow, inv, e.Table.Value.Row(e.fold(idx)))
 		}
 	}
 	return out
@@ -91,15 +92,14 @@ func (e *Embedding) Backward(grad *tensor.Matrix) {
 		if len(bag) == 0 {
 			continue
 		}
-		grow := grad.Row(i)
+		grow := grad.Row(i)[:e.activeWidth]
 		inv := 1 / float64(len(bag))
 		for _, idx := range bag {
 			trow := e.Table.Grad.Row(e.fold(idx))[:e.activeWidth]
-			for j, g := range grow {
-				trow[j] += g * inv
-			}
+			tensor.Axpy(trow, inv, grow)
 		}
 	}
+	e.Table.Dirty = true
 }
 
 // Params returns the shared table parameter.

@@ -13,6 +13,16 @@ type Param struct {
 	Name  string
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
+
+	// Dirty is set by layer Backward methods when they accumulate into
+	// Grad, and cleared by ZeroGrad/ZeroGrads. The contract is an
+	// invariant — Dirty unset ⇒ Grad is exactly zero — that gradient
+	// reducers, ZeroGrad, and the optimizers exploit to skip full-size
+	// passes over untouched parameters (e.g. inactive embedding tables on
+	// a shard, or dropped shards). Any code that writes Grad outside a
+	// layer Backward must set Dirty itself or the skip paths will treat
+	// the gradient as zero.
+	Dirty bool
 }
 
 // NewParam allocates a parameter with a zeroed gradient of matching shape.
@@ -20,8 +30,46 @@ func NewParam(name string, value *tensor.Matrix) *Param {
 	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
 }
 
-// ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() { p.Grad.Zero() }
+// ZeroGrad clears the accumulated gradient and the Dirty mark. A clean
+// param's gradient is already zero by the Dirty invariant, so the memclr
+// runs only for params that were actually written since the last clear.
+func (p *Param) ZeroGrad() {
+	if !p.Dirty {
+		return
+	}
+	p.Grad.Zero()
+	p.Dirty = false
+}
+
+// fusedBackwardRow is the shared inner kernel of the masked/low-rank
+// backward passes: it accumulates gw[j] += g[j]·x and returns Σ g[j]·w[j],
+// 4-wide unrolled. The gradient accumulation order per element is
+// unchanged from the scalar loop; the returned dot uses four parallel
+// accumulators in a fixed (deterministic) order.
+func fusedBackwardRow(g, w, gw []float64, x float64) float64 {
+	n := len(g)
+	w = w[:n]
+	gw = gw[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+3 < n; j += 4 {
+		g0, g1, g2, g3 := g[j], g[j+1], g[j+2], g[j+3]
+		s0 += g0 * w[j]
+		gw[j] += g0 * x
+		s1 += g1 * w[j+1]
+		gw[j+1] += g1 * x
+		s2 += g2 * w[j+2]
+		gw[j+2] += g2 * x
+		s3 += g3 * w[j+3]
+		gw[j+3] += g3 * x
+	}
+	for ; j < n; j++ {
+		gv := g[j]
+		s0 += gv * w[j]
+		gw[j] += gv * x
+	}
+	return s0 + s1 + s2 + s3
+}
 
 // Layer is one differentiable stage. Forward caches what Backward needs;
 // Backward accumulates parameter gradients (into Params' Grad) and returns
@@ -64,6 +112,7 @@ func (l *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.input, grad))
 	tensor.AddInPlace(l.B.Grad, tensor.ColSums(grad))
+	l.W.Dirty, l.B.Dirty = true, true
 	return tensor.MatMulTransB(grad, l.W.Value)
 }
 
@@ -78,6 +127,11 @@ func (l *Dense) Params() []*Param { return []*Param{l.W, l.B} }
 type MaskedDense struct {
 	W *Param // maxIn×maxOut
 	B *Param // 1×maxOut
+
+	// Arena, when set, owns the layer's output and gradient intermediates;
+	// they are valid until the arena's next Release. Nil falls back to
+	// heap allocation.
+	Arena *tensor.Arena
 
 	activeIn, activeOut int
 	input               *tensor.Matrix
@@ -113,7 +167,7 @@ func (l *MaskedDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: MaskedDense input width %d != active in %d", x.Cols, l.activeIn))
 	}
 	l.input = x
-	out := tensor.New(x.Rows, l.activeOut)
+	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
 	for i := 0; i < x.Rows; i++ {
 		xrow := x.Row(i)
 		orow := out.Row(i)
@@ -123,10 +177,7 @@ func (l *MaskedDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			if xv == 0 {
 				continue
 			}
-			wrow := l.W.Value.Row(k)[:l.activeOut]
-			for j, wv := range wrow {
-				orow[j] += xv * wv
-			}
+			tensor.Axpy(orow, xv, l.W.Value.Row(k))
 		}
 	}
 	return out
@@ -142,27 +193,17 @@ func (l *MaskedDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: MaskedDense grad width %d != active out %d", grad.Cols, l.activeOut))
 	}
 	x := l.input
-	dx := tensor.New(x.Rows, l.activeIn)
+	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
 	for i := 0; i < x.Rows; i++ {
 		grow := grad.Row(i)
 		xrow := x.Row(i)
 		dxrow := dx.Row(i)
 		for k := 0; k < l.activeIn; k++ {
-			wrow := l.W.Value.Row(k)[:l.activeOut]
-			gwrow := l.W.Grad.Row(k)[:l.activeOut]
-			xv := xrow[k]
-			var s float64
-			for j, gv := range grow {
-				s += gv * wrow[j]
-				gwrow[j] += gv * xv
-			}
-			dxrow[k] = s
+			dxrow[k] = fusedBackwardRow(grow, l.W.Value.Row(k), l.W.Grad.Row(k), xrow[k])
 		}
-		brow := l.B.Grad.Data[:l.activeOut]
-		for j, gv := range grow {
-			brow[j] += gv
-		}
+		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
 	}
+	l.W.Dirty, l.B.Dirty = true, true
 	return dx
 }
 
@@ -178,6 +219,11 @@ type LowRankDense struct {
 	U *Param // maxIn×maxRank
 	V *Param // maxRank×maxOut
 	B *Param // 1×maxOut
+
+	// Arena, when set, owns the layer's output and intermediates (incl.
+	// the cached hidden activation, which must survive until Backward —
+	// release the arena only between full forward/backward passes).
+	Arena *tensor.Arena
 
 	activeIn, activeOut, activeRank int
 	input, hidden                   *tensor.Matrix
@@ -223,7 +269,7 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LowRankDense input width %d != active in %d", x.Cols, l.activeIn))
 	}
 	l.input = x
-	h := tensor.New(x.Rows, l.activeRank)
+	h := l.Arena.Get(x.Rows, l.activeRank)
 	for i := 0; i < x.Rows; i++ {
 		xrow := x.Row(i)
 		hrow := h.Row(i)
@@ -232,14 +278,11 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			if xv == 0 {
 				continue
 			}
-			urow := l.U.Value.Row(k)[:l.activeRank]
-			for j, uv := range urow {
-				hrow[j] += xv * uv
-			}
+			tensor.Axpy(hrow, xv, l.U.Value.Row(k))
 		}
 	}
 	l.hidden = h
-	out := tensor.New(x.Rows, l.activeOut)
+	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
 	for i := 0; i < x.Rows; i++ {
 		hrow := h.Row(i)
 		orow := out.Row(i)
@@ -249,10 +292,7 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			if hv == 0 {
 				continue
 			}
-			vrow := l.V.Value.Row(k)[:l.activeOut]
-			for j, vv := range vrow {
-				orow[j] += hv * vv
-			}
+			tensor.Axpy(orow, hv, l.V.Value.Row(k))
 		}
 	}
 	return out
@@ -267,44 +307,26 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LowRankDense grad width %d != active out %d", grad.Cols, l.activeOut))
 	}
 	x, h := l.input, l.hidden
-	dh := tensor.New(x.Rows, l.activeRank)
+	dh := l.Arena.GetNoZero(x.Rows, l.activeRank)
 	for i := 0; i < x.Rows; i++ {
 		grow := grad.Row(i)
 		hrow := h.Row(i)
 		dhrow := dh.Row(i)
 		for k := 0; k < l.activeRank; k++ {
-			vrow := l.V.Value.Row(k)[:l.activeOut]
-			gvrow := l.V.Grad.Row(k)[:l.activeOut]
-			hv := hrow[k]
-			var s float64
-			for j, gv := range grow {
-				s += gv * vrow[j]
-				gvrow[j] += gv * hv
-			}
-			dhrow[k] = s
+			dhrow[k] = fusedBackwardRow(grow, l.V.Value.Row(k), l.V.Grad.Row(k), hrow[k])
 		}
-		brow := l.B.Grad.Data[:l.activeOut]
-		for j, gv := range grow {
-			brow[j] += gv
-		}
+		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
 	}
-	dx := tensor.New(x.Rows, l.activeIn)
+	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
 	for i := 0; i < x.Rows; i++ {
 		dhrow := dh.Row(i)
 		xrow := x.Row(i)
 		dxrow := dx.Row(i)
 		for k := 0; k < l.activeIn; k++ {
-			urow := l.U.Value.Row(k)[:l.activeRank]
-			gurow := l.U.Grad.Row(k)[:l.activeRank]
-			xv := xrow[k]
-			var s float64
-			for j, dhv := range dhrow {
-				s += dhv * urow[j]
-				gurow[j] += dhv * xv
-			}
-			dxrow[k] = s
+			dxrow[k] = fusedBackwardRow(dhrow, l.U.Value.Row(k), l.U.Grad.Row(k), xrow[k])
 		}
 	}
+	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true
 	return dx
 }
 

@@ -24,16 +24,24 @@ type BCEWithLogits struct{}
 // Eval implements Loss. Targets must be in {0,1} (soft labels in [0,1] are
 // also accepted).
 func (BCEWithLogits) Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix) {
-	checkSame("BCEWithLogits", output, target)
-	n := float64(len(output.Data))
 	grad := tensor.New(output.Rows, output.Cols)
+	return BCEWithLogits{}.EvalInto(output, target, grad), grad
+}
+
+// EvalInto is Eval writing the gradient into grad (fully overwritten),
+// so hot loops can reuse a pooled buffer instead of allocating one per
+// step. grad must match output's shape.
+func (BCEWithLogits) EvalInto(output, target, grad *tensor.Matrix) float64 {
+	checkSame("BCEWithLogits", output, target)
+	checkSame("BCEWithLogits grad", output, grad)
+	n := float64(len(output.Data))
 	var total float64
 	for i, z := range output.Data {
 		y := target.Data[i]
 		total += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
 		grad.Data[i] = (sigmoid(z) - y) / n
 	}
-	return total / n, grad
+	return total / n
 }
 
 // MSE is mean squared error, used to train the performance model.
@@ -80,13 +88,23 @@ func (SoftmaxCE) Eval(output, target *tensor.Matrix) (float64, *tensor.Matrix) {
 
 // Softmax returns the softmax of logits, numerically stabilized.
 func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	SoftmaxInto(logits, out)
+	return out
+}
+
+// SoftmaxInto writes the numerically-stabilized softmax of logits into
+// out, which must have the same length (it may alias logits).
+func SoftmaxInto(logits, out []float64) {
+	if len(out) != len(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxInto length mismatch %d vs %d", len(logits), len(out)))
+	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - maxv)
@@ -96,7 +114,6 @@ func Softmax(logits []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // LogLoss returns the binary log loss of a probability p against label y,

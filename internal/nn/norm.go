@@ -16,10 +16,15 @@ type MaskedLayerNorm struct {
 	Beta  *Param // 1×maxDim
 	Eps   float64
 
+	// Arena, when set, owns the output/normed intermediates (valid until
+	// its next Release); nil falls back to heap allocation.
+	Arena *tensor.Arena
+
 	activeDim int
 	input     *tensor.Matrix
 	normed    *tensor.Matrix // cached normalized (pre-affine) values
-	invStd    []float64      // cached 1/std per row
+	invStd    []float64      // cached 1/std per row (reused across calls)
+	dnorm     []float64      // Backward scratch (reused across calls)
 }
 
 // NewMaskedLayerNorm returns a layer-norm slot for up to maxDim features,
@@ -51,9 +56,12 @@ func (l *MaskedLayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.input = x
 	n := float64(l.activeDim)
-	out := tensor.New(x.Rows, x.Cols)
-	l.normed = tensor.New(x.Rows, x.Cols)
-	l.invStd = make([]float64, x.Rows)
+	out := l.Arena.GetNoZero(x.Rows, x.Cols)
+	l.normed = l.Arena.GetNoZero(x.Rows, x.Cols)
+	if cap(l.invStd) < x.Rows {
+		l.invStd = make([]float64, x.Rows)
+	}
+	l.invStd = l.invStd[:x.Rows]
 	gamma := l.Gamma.Value.Data[:l.activeDim]
 	beta := l.Beta.Value.Data[:l.activeDim]
 	for i := 0; i < x.Rows; i++ {
@@ -93,14 +101,17 @@ func (l *MaskedLayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	gamma := l.Gamma.Value.Data[:l.activeDim]
 	dGamma := l.Gamma.Grad.Data[:l.activeDim]
 	dBeta := l.Beta.Grad.Data[:l.activeDim]
-	dx := tensor.New(grad.Rows, grad.Cols)
+	dx := l.Arena.GetNoZero(grad.Rows, grad.Cols)
+	if cap(l.dnorm) < l.activeDim {
+		l.dnorm = make([]float64, l.activeDim)
+	}
+	dnorm := l.dnorm[:l.activeDim]
 	for i := 0; i < grad.Rows; i++ {
 		grow := grad.Row(i)
 		nrow := l.normed.Row(i)
 		// dNorm = grad ⊙ γ; then the standard layer-norm input gradient:
 		// dx = invStd/n · (n·dNorm − Σ dNorm − normed·Σ(dNorm⊙normed)).
 		var sumD, sumDN float64
-		dnorm := make([]float64, l.activeDim)
 		for j, g := range grow {
 			dGamma[j] += g * nrow[j]
 			dBeta[j] += g
@@ -115,6 +126,7 @@ func (l *MaskedLayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			dxrow[j] = inv / n * (n*dnorm[j] - sumD - nrow[j]*sumDN)
 		}
 	}
+	l.Gamma.Dirty, l.Beta.Dirty = true, true
 	return dx
 }
 

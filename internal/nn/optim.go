@@ -78,6 +78,15 @@ func (o *Adam) Step(params []*Param) {
 	for _, p := range params {
 		m := o.m[p]
 		if m == nil {
+			// A parameter the optimizer has never stepped and whose gradient
+			// is all-zero would get zero moments and a zero update — skipping
+			// it (moments stay unallocated) is bitwise identical and avoids
+			// walking every untouched parameter each step. A weight-sharing
+			// search leaves most parameter bytes (unsampled embedding tables,
+			// depth-sweep layers) in exactly this state for many steps.
+			if allZero(p.Grad.Data) {
+				continue
+			}
 			m = tensor.New(p.Grad.Rows, p.Grad.Cols)
 			o.m[p] = m
 			o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
@@ -146,6 +155,18 @@ func (o *Adam) LoadState(params []*Param, st AdamState) error {
 		o.v[p] = v
 	}
 	return nil
+}
+
+// allZero reports whether every value in v is zero, early-exiting on the
+// first nonzero (for gradients that were actually written, that is almost
+// always the first element).
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm is at most

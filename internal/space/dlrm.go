@@ -103,6 +103,14 @@ type DLRMSpace struct {
 	Space  *Space
 
 	maxBottom, maxTop int
+
+	// Decision indices resolved once at construction so the hot decode
+	// path (every supernet Forward/Backward) does no name formatting or
+	// map lookups.
+	embWidthIdx, embVocabIdx      []int
+	bottomWidthIdx, bottomRankIdx []int
+	topWidthIdx, topRankIdx       []int
+	bottomDepthIdx, topDepthIdx   int
 }
 
 // vocabFractions are the Table 5 vocabulary-size multipliers.
@@ -143,7 +151,22 @@ func NewDLRMSpace(cfg DLRMConfig) *DLRMSpace {
 	}
 	addMLP("bottom", cfg.BottomWidths, maxBottom)
 	addMLP("top", cfg.TopWidths, maxTop)
-	return &DLRMSpace{Config: cfg, Space: s, maxBottom: maxBottom, maxTop: maxTop}
+	d := &DLRMSpace{Config: cfg, Space: s, maxBottom: maxBottom, maxTop: maxTop}
+	for i := 0; i < cfg.NumTables; i++ {
+		d.embWidthIdx = append(d.embWidthIdx, s.Lookup(fmt.Sprintf("emb%d_width", i)))
+		d.embVocabIdx = append(d.embVocabIdx, s.Lookup(fmt.Sprintf("emb%d_vocab", i)))
+	}
+	for i := 0; i < maxBottom; i++ {
+		d.bottomWidthIdx = append(d.bottomWidthIdx, s.Lookup(fmt.Sprintf("bottom%d_width", i)))
+		d.bottomRankIdx = append(d.bottomRankIdx, s.Lookup(fmt.Sprintf("bottom%d_rank", i)))
+	}
+	for i := 0; i < maxTop; i++ {
+		d.topWidthIdx = append(d.topWidthIdx, s.Lookup(fmt.Sprintf("top%d_width", i)))
+		d.topRankIdx = append(d.topRankIdx, s.Lookup(fmt.Sprintf("top%d_rank", i)))
+	}
+	d.bottomDepthIdx = s.Lookup("bottom_depth")
+	d.topDepthIdx = s.Lookup("top_depth")
+	return d
 }
 
 // DLRMArch is a decoded DLRM architecture candidate.
@@ -165,26 +188,39 @@ func (d *DLRMSpace) MaxTopLayers() int { return d.maxTop }
 
 // Decode maps an assignment to the architecture it selects.
 func (d *DLRMSpace) Decode(a Assignment) DLRMArch {
+	var out DLRMArch
+	d.DecodeInto(a, &out)
+	return out
+}
+
+// DecodeInto decodes the assignment into out, reusing out's slices when
+// their capacity allows — the allocation-free decode the search step's
+// hot path uses. Decision indices are resolved once at construction, so
+// no name formatting or map lookups happen here.
+func (d *DLRMSpace) DecodeInto(a Assignment, out *DLRMArch) {
 	if err := d.Space.Validate(a); err != nil {
 		panic(err)
 	}
 	cfg := d.Config
-	out := DLRMArch{}
+	val := func(idx int) float64 { return d.Space.Decisions[idx].Values[a[idx]] }
+	out.EmbWidths = out.EmbWidths[:0]
+	out.EmbVocabs = out.EmbVocabs[:0]
 	for i := 0; i < cfg.NumTables; i++ {
-		out.EmbWidths = append(out.EmbWidths, int(d.Space.Value(a, fmt.Sprintf("emb%d_width", i))))
-		out.EmbVocabs = append(out.EmbVocabs, int(d.Space.Value(a, fmt.Sprintf("emb%d_vocab", i))))
+		out.EmbWidths = append(out.EmbWidths, int(val(d.embWidthIdx[i])))
+		out.EmbVocabs = append(out.EmbVocabs, int(val(d.embVocabIdx[i])))
 	}
-	decodeMLP := func(prefix string, baseDepth, maxLayers int) (widths, ranks []int) {
-		depth := baseDepth + int(d.Space.Value(a, prefix+"_depth"))
+	decodeMLP := func(widths, ranks []int, widthIdx, rankIdx []int, depthIdx, baseDepth, maxLayers int) ([]int, []int) {
+		depth := baseDepth + int(val(depthIdx))
 		if depth < 1 {
 			depth = 1
 		}
 		if depth > maxLayers {
 			depth = maxLayers
 		}
+		widths, ranks = widths[:0], ranks[:0]
 		for i := 0; i < depth; i++ {
-			w := int(d.Space.Value(a, fmt.Sprintf("%s%d_width", prefix, i)))
-			frac := d.Space.Value(a, fmt.Sprintf("%s%d_rank", prefix, i))
+			w := int(val(widthIdx[i]))
+			frac := val(rankIdx[i])
 			rank := int(math.Round(frac * float64(w)))
 			rank = roundUpTo8(rank)
 			if rank > w {
@@ -195,9 +231,10 @@ func (d *DLRMSpace) Decode(a Assignment) DLRMArch {
 		}
 		return widths, ranks
 	}
-	out.BottomWidths, out.BottomRanks = decodeMLP("bottom", len(cfg.BottomWidths), d.maxBottom)
-	out.TopWidths, out.TopRanks = decodeMLP("top", len(cfg.TopWidths), d.maxTop)
-	return out
+	out.BottomWidths, out.BottomRanks = decodeMLP(out.BottomWidths, out.BottomRanks,
+		d.bottomWidthIdx, d.bottomRankIdx, d.bottomDepthIdx, len(cfg.BottomWidths), d.maxBottom)
+	out.TopWidths, out.TopRanks = decodeMLP(out.TopWidths, out.TopRanks,
+		d.topWidthIdx, d.topRankIdx, d.topDepthIdx, len(cfg.TopWidths), d.maxTop)
 }
 
 // BaselineAssignment returns the assignment that reproduces the baseline

@@ -1,0 +1,65 @@
+package supernet
+
+import (
+	"testing"
+
+	"h2onas/internal/nn"
+	"h2onas/internal/tensor"
+)
+
+// TestSteadyStateStepZeroMatrixAllocs is the allocation gate for the hot
+// path: once the per-shard arena and the optimizer moments are warm, a
+// full search step — replica forward/backward, gradient reduction, clip,
+// Adam, gradient clear — must perform zero heap allocations. The data
+// plane (batch synthesis) is excluded by pre-drawing the batch; real
+// steps draw fresh batches, which is the pipeline's (prefetched,
+// off-hot-path) job.
+func TestSteadyStateStepZeroMatrixAllocs(t *testing.T) {
+	ds, master, stream := newSmall(t, 7)
+	rng := tensor.NewRNG(9)
+	replica := master.Replicate(rng.Split())
+	arena := tensor.NewArena()
+	replica.SetArena(arena)
+	defer func() {
+		replica.SetArena(nil)
+		arena.Release()
+		arena.Drain()
+	}()
+	opt := nn.NewAdam(0.003)
+	batch := stream.NextBatch(32)
+	// Alternate two assignments so the gate also covers the buffer-shape
+	// churn of switching candidates, not just a perfectly static subnet.
+	a1 := randomAssignment(ds, rng)
+	a2 := randomAssignment(ds, rng)
+	replicas := []*Supernet{replica}
+
+	// The α-before-W phase latch is one-way per batch, so the reused batch
+	// skips UseForArch/UseForWeights — they are bookkeeping, not compute,
+	// and the search loop (not this gate) owns that invariant.
+	step := func(a []int) {
+		_, dout := replica.Loss(a, batch)
+		replica.Backward(dout)
+		ReduceGrads(master, replicas)
+		nn.ClipGradNorm(master.Params(), 10)
+		opt.Step(master.Params())
+		nn.ZeroGrads(master.Params())
+	}
+	// Warm: arena pools fill, Adam lazily allocates moments for every
+	// param both assignments touch.
+	for i := 0; i < 3; i++ {
+		step(a1)
+		step(a2)
+	}
+
+	before := tensor.MatrixAllocs()
+	allocs := testing.AllocsPerRun(10, func() {
+		step(a1)
+		step(a2)
+	})
+	if d := tensor.MatrixAllocs() - before; d != 0 {
+		t.Fatalf("steady-state step allocated %d matrices, want 0", d)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state step made %.1f heap allocations per run, want 0", allocs)
+	}
+}

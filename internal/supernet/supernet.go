@@ -61,6 +61,18 @@ type Supernet struct {
 
 	params []*nn.Param
 
+	// arena, when set via SetArena, owns every intermediate matrix of a
+	// forward/backward pass; Forward releases it on entry, so the
+	// previous pass's buffers are recycled instead of garbage-collected.
+	arena *tensor.Arena
+
+	// vocabIdx[t] is the decision index of emb<t>_vocab, resolved once.
+	vocabIdx []int
+
+	// acts is the pool of reusable activation layers; lastActs is the
+	// per-pass view of the ones actually used, consumed by Backward.
+	acts []*nn.ActivationLayer
+
 	// caches from the last Forward, consumed by Backward.
 	lastAssignment space.Assignment
 	lastArch       space.DLRMArch
@@ -172,7 +184,37 @@ func NewWithOptions(ds *space.DLRMSpace, rng *tensor.RNG, opts Options) *Superne
 		s.params = append(s.params, slot.low.Params()...)
 	}
 	s.params = append(s.params, s.logit.Params()...)
+
+	s.vocabIdx = make([]int, cfg.NumTables)
+	for t := 0; t < cfg.NumTables; t++ {
+		s.vocabIdx[t] = ds.Space.Lookup(fmt.Sprintf("emb%d_vocab", t))
+	}
 	return s
+}
+
+// SetArena threads a per-shard arena through every layer of the
+// super-network. All intermediates of a pass — including the logits and
+// loss gradient — become arena-owned: they stay valid through Backward
+// and are recycled by the next Forward on this super-network. Callers
+// that retain outputs across steps must Clone them. Pass nil to revert
+// to per-call heap allocation.
+func (s *Supernet) SetArena(a *tensor.Arena) {
+	s.arena = a
+	for _, row := range s.tables {
+		for _, e := range row {
+			e.Arena = a
+		}
+	}
+	for _, slot := range s.bottom {
+		slot.low.Arena = a
+	}
+	for _, slot := range s.top {
+		slot.low.Arena = a
+	}
+	s.logit.Arena = a
+	for _, act := range s.acts {
+		act.Arena = a
+	}
 }
 
 // Params returns every shared parameter in a stable order.
@@ -216,7 +258,13 @@ func (s *Supernet) LoadWeights(w [][]float64) error {
 // replica per accelerator shard, with a cross-shard gradient reduction
 // after the parallel step (Section 4.2 stage 3).
 func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
-	r := NewWithOptions(s.DS, rng, s.opts)
+	// Every replica weight is immediately replaced by the master's shared
+	// storage, so the structural clone is built with a ZeroRNG — the
+	// random initialization it would otherwise compute is pure waste. The
+	// rng argument is retained so call sites keep consuming one Split from
+	// their stream (bit-compatibility of seeded runs).
+	_ = rng
+	r := NewWithOptions(s.DS, tensor.ZeroRNG(), s.opts)
 	for i, p := range r.params {
 		p.Value = s.params[i].Value
 	}
@@ -226,6 +274,13 @@ func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
 // ReduceGrads sums the replicas' gradients into master's (averaging by
 // replica count), then clears the replicas' gradients. It is the
 // cross-shard gradient update of the parallel search step.
+//
+// Replica params whose Dirty flag is clear are skipped: their gradients
+// are exactly zero (no Backward touched them this step — e.g. an
+// embedding table whose vocabulary option the shard's candidate did not
+// select), so the AXPY would add zero and the Zero would clear zeros.
+// Most of a step's parameter bytes are untouched tables, making this the
+// dominant saving of the reduction.
 func ReduceGrads(master *Supernet, replicas []*Supernet) {
 	if len(replicas) == 0 {
 		return
@@ -233,8 +288,14 @@ func ReduceGrads(master *Supernet, replicas []*Supernet) {
 	inv := 1 / float64(len(replicas))
 	for i, p := range master.params {
 		for _, r := range replicas {
-			tensor.AXPY(p.Grad, inv, r.params[i].Grad)
-			r.params[i].Grad.Zero()
+			rp := r.params[i]
+			if !rp.Dirty {
+				continue
+			}
+			tensor.AXPY(p.Grad, inv, rp.Grad)
+			p.Dirty = true
+			rp.Grad.Zero()
+			rp.Dirty = false
 		}
 	}
 }
@@ -244,14 +305,18 @@ func ReduceGrads(master *Supernet, replicas []*Supernet) {
 // Backward with the loss gradient to accumulate parameter gradients for
 // the same candidate.
 func (s *Supernet) Forward(a space.Assignment, batch *datapipe.Batch) *tensor.Matrix {
-	ar := s.DS.Decode(a)
+	// Recycle the previous pass's intermediates (no-op without an arena).
+	// Anything the caller still holds from the last pass becomes invalid
+	// here — see SetArena.
+	s.arena.Release()
+	s.DS.DecodeInto(a, &s.lastArch)
+	ar := s.lastArch
 	cfg := s.DS.Config
 	n := batch.Size()
 
-	s.lastAssignment = append(space.Assignment(nil), a...)
-	s.lastArch = ar
+	s.lastAssignment = append(s.lastAssignment[:0], a...)
 	s.lastBatch = batch
-	s.lastActs = nil
+	s.lastActs = s.lastActs[:0]
 
 	// Bottom MLP over dense features.
 	x := batch.Dense
@@ -261,8 +326,9 @@ func (s *Supernet) Forward(a space.Assignment, batch *datapipe.Batch) *tensor.Ma
 	}
 	s.lastBottomOut = x.Cols
 
-	// Concat: bottom output then one fixed-offset slot per table.
-	concat := tensor.New(n, s.concatWidth)
+	// Concat: bottom output then one fixed-offset slot per table. The
+	// zero fill is load-bearing: padding implements input-side masking.
+	concat := s.arena.Get(n, s.concatWidth)
 	for r := 0; r < n; r++ {
 		copy(concat.Row(r)[:x.Cols], x.Row(r))
 	}
@@ -301,7 +367,15 @@ func (s *Supernet) runSlot(slot *mlpSlot, x *tensor.Matrix, w, rank int) *tensor
 }
 
 func (s *Supernet) activate(x *tensor.Matrix) *tensor.Matrix {
-	act := nn.NewActivationLayer(nn.ReLU)
+	// Reuse pooled activation layers instead of allocating one per layer
+	// per pass; lastActs tracks the ones this pass used, in order.
+	i := len(s.lastActs)
+	if i == len(s.acts) {
+		act := nn.NewActivationLayer(nn.ReLU)
+		act.Arena = s.arena
+		s.acts = append(s.acts, act)
+	}
+	act := s.acts[i]
 	s.lastActs = append(s.lastActs, act)
 	return act.Forward(x)
 }
@@ -330,14 +404,14 @@ func (s *Supernet) Backward(dLogits *tensor.Matrix) {
 			continue
 		}
 		off := s.maxBottomOut + t*s.maxEmbWidth
-		eg := tensor.New(n, w)
+		eg := s.arena.GetNoZero(n, w)
 		for r := 0; r < n; r++ {
 			copy(eg.Row(r), grad.Row(r)[off:off+w])
 		}
 		s.tableFor(a, t, ar).Backward(eg)
 	}
 	bw := s.lastBottomOut
-	bg := tensor.New(n, bw)
+	bg := s.arena.GetNoZero(n, bw)
 	for r := 0; r < n; r++ {
 		copy(bg.Row(r), grad.Row(r)[:bw])
 	}
@@ -370,13 +444,16 @@ func (s *Supernet) tableFor(a space.Assignment, t int, ar space.DLRMArch) *nn.Em
 
 // vocabChoice returns the selected vocabulary option index for table t.
 func (s *Supernet) vocabChoice(a space.Assignment, t int) int {
-	return a[s.DS.Space.Lookup(fmt.Sprintf("emb%d_vocab", t))]
+	return a[s.vocabIdx[t]]
 }
 
 // Loss runs Forward and returns the BCE loss plus its logits gradient.
+// With an arena set, the gradient is arena-owned: valid through Backward,
+// recycled by the next Forward.
 func (s *Supernet) Loss(a space.Assignment, batch *datapipe.Batch) (float64, *tensor.Matrix) {
 	logits := s.Forward(a, batch)
-	return nn.BCEWithLogits{}.Eval(logits, batch.Labels)
+	grad := s.arena.GetNoZero(logits.Rows, logits.Cols)
+	return nn.BCEWithLogits{}.EvalInto(logits, batch.Labels, grad), grad
 }
 
 // Quality evaluates the candidate's quality signal Q(α) on the batch

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks at the shapes the small-DLRM search step actually
+// runs: batch 64 against top-MLP sized operands. Run with -benchmem to
+// see the allocation profile; the *Into/arena variants must report
+// 0 allocs/op in steady state.
+
+func benchMatrices(rows, inner, cols int) (*Matrix, *Matrix) {
+	rng := NewRNG(1)
+	return RandN(rows, inner, 1, rng), RandN(inner, cols, 1, rng)
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, shape := range [][3]int{{64, 160, 64}, {64, 64, 64}, {256, 256, 256}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", shape[0], shape[1], shape[2]), func(b *testing.B) {
+			x, w := benchMatrices(shape[0], shape[1], shape[2])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = MatMul(x, w)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := NewRNG(2)
+	x := RandN(64, 160, 1, rng) // batch×in
+	g := RandN(64, 64, 1, rng)  // batch×out
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransA(x, g)
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := NewRNG(2)
+	g := RandN(64, 64, 1, rng)
+	w := RandN(160, 64, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransB(g, w)
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	rng := NewRNG(3)
+	a := RandN(256, 256, 1, rng)
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatVec(a, x)
+	}
+}

@@ -1,168 +1,209 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// parallelThreshold is the number of multiply-adds below which MatMul runs
-// single-threaded; goroutine fan-out costs more than it saves on small
-// products.
+// parallelThreshold is the number of multiply-adds below which the matmul
+// kernels run single-threaded; worker fan-out costs more than it saves on
+// small products.
 const parallelThreshold = 1 << 18
 
-// MatMul returns a·b for an (n×k) a and (k×m) b.
+// MatMul returns a·b for an (n×k) a and (k×m) b. It is MatMulInto with a
+// freshly allocated output.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a·b into out, which must be a.Rows×b.Cols; prior
+// contents of out are overwritten. out must not alias a or b.
 //
 // The kernel iterates in i-k-j order so the inner loop walks both the
 // output row and the b row contiguously, and shards output rows across
-// GOMAXPROCS workers for large products.
-func MatMul(a, b *Matrix) *Matrix {
+// the persistent worker pool for large products.
+func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		matmulRows(a, b, out, 0, a.Rows)
-		return out
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto output %dx%d != %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matmulRows(a, b, out, lo, hi) })
-	return out
+	if work := a.Rows * a.Cols * b.Cols; work < parallelThreshold {
+		matmulRows(a, b, out, 0, a.Rows)
+		return
+	}
+	sharedPool().run(a.Rows, opMatMul, a, b, out)
 }
 
 func matmulRows(a, b, out *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
 			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			axpyUnrolled(orow, av, brow)
 		}
 	}
 }
 
-// MatMulTransA returns aᵀ·b for an (k×n) a and (k×m) b, without
-// materializing the transpose. It is the weight-gradient kernel:
-// dW = Xᵀ·dY.
+// axpyUnrolled computes dst[j] += s*src[j], 4 elements per iteration.
+// Each dst element still receives exactly the same sequence of adds as
+// the scalar loop, so results are bit-identical.
+func axpyUnrolled(dst []float64, s float64, src []float64) {
+	n := len(dst)
+	src = src[:n] // bounds-check elimination hint
+	j := 0
+	for ; j+3 < n; j += 4 {
+		dst[j] += s * src[j]
+		dst[j+1] += s * src[j+1]
+		dst[j+2] += s * src[j+2]
+		dst[j+3] += s * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += s * src[j]
+	}
+}
+
+// Axpy computes dst[j] += s·src[j] over slices, 4-wide unrolled with
+// per-element order preserved. It is the building block the hand-written
+// layer kernels in internal/nn share with the matmul kernels here.
+func Axpy(dst []float64, s float64, src []float64) { axpyUnrolled(dst, s, src) }
+
+// Dot returns Σ a[k]·b[k] with four parallel accumulators (deterministic
+// fixed order; see dotUnrolled).
+func Dot(a, b []float64) float64 { return dotUnrolled(a, b) }
+
+// MatMulTransA returns aᵀ·b for a (k×n) a and (k×m) b. It is
+// MatMulTransAInto with a freshly allocated output.
 func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(a, b, out)
+	return out
+}
+
+// MatMulTransAInto computes aᵀ·b into out (a.Cols×b.Cols) without
+// materializing the transpose; prior contents of out are overwritten.
+// It is the weight-gradient kernel: dW = Xᵀ·dY. out must not alias a
+// or b.
+func MatMulTransAInto(a, b, out *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dim mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
-	// out[i][j] = Σ_k a[k][i]·b[k][j]. Accumulate row-by-row of a/b so all
-	// access is contiguous; single-threaded accumulation avoids racing on
-	// shared output rows, and is parallelized over output rows when large.
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i, av := range arow {
-				if av == 0 {
-					continue
-				}
-				orow := out.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-		return out
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto output %dx%d != %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
 	}
-	parallelRows(a.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
+	// out[i][j] = Σ_k a[k][i]·b[k][j]. Accumulate row-by-row of a/b so all
+	// access is contiguous; output rows are partitioned across workers for
+	// large products so no two workers share an output row.
+	if work := a.Rows * a.Cols * b.Cols; work < parallelThreshold {
+		transACols(a, b, out, 0, a.Cols)
+		return
+	}
+	sharedPool().run(a.Cols, opMatMulTransA, a, b, out)
+}
+
+// transACols accumulates output rows [lo,hi) of aᵀ·b (i.e. columns
+// [lo,hi) of a).
+func transACols(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
 		}
-	})
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			axpyUnrolled(out.Row(i), av, brow)
+		}
+	}
+}
+
+// MatMulTransB returns a·bᵀ for an (n×k) a and (m×k) b. It is
+// MatMulTransBInto with a freshly allocated output.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(a, b, out)
 	return out
 }
 
-// MatMulTransB returns a·bᵀ for an (n×k) a and (m×k) b, without
-// materializing the transpose. It is the input-gradient kernel:
-// dX = dY·Wᵀ.
-func MatMulTransB(a, b *Matrix) *Matrix {
+// MatMulTransBInto computes a·bᵀ into out (a.Rows×b.Rows) without
+// materializing the transpose; prior contents of out are overwritten.
+// It is the input-gradient kernel: dX = dY·Wᵀ. out must not alias a
+// or b.
+func MatMulTransBInto(a, b, out *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto output %dx%d != %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	if work := a.Rows * a.Cols * b.Rows; work < parallelThreshold {
+		transBRows(a, b, out, 0, a.Rows)
+		return
+	}
+	sharedPool().run(a.Rows, opMatMulTransB, a, b, out)
+}
+
+// transBRows computes output rows [lo,hi) of a·bᵀ as dot products.
+func transBRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = dotUnrolled(arow, b.Row(j))
 		}
 	}
-	work := a.Rows * a.Cols * b.Rows
-	if work < parallelThreshold {
-		body(0, a.Rows)
-		return out
+}
+
+// dotUnrolled returns Σ a[k]·b[k] using four parallel accumulators. The
+// accumulation order is fixed (deterministic) but differs from a single
+// running sum.
+func dotUnrolled(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	b = b[:n] // bounds-check elimination hint
+	k := 0
+	for ; k+3 < n; k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
 	}
-	parallelRows(a.Rows, body)
-	return out
+	for ; k < n; k++ {
+		s0 += a[k] * b[k]
+	}
+	return s0 + s1 + s2 + s3
 }
 
 // MatVec returns a·x for an (n×k) a and length-k x.
 func MatVec(a *Matrix, x []float64) []float64 {
-	if a.Cols != len(x) {
-		panic(fmt.Sprintf("tensor: MatVec dim mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
-	}
 	out := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		var s float64
-		for k, v := range row {
-			s += v * x[k]
-		}
-		out[i] = s
-	}
+	MatVecInto(a, x, out)
 	return out
 }
 
-// parallelRows shards [0,n) row ranges across GOMAXPROCS workers and waits.
-func parallelRows(n int, body func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// MatVecInto computes a·x into out, which must have length a.Rows;
+// prior contents are overwritten.
+func MatVecInto(a *Matrix, x, out []float64) {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec dim mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
 	}
-	if workers <= 1 {
-		body(0, n)
-		return
+	if len(out) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatVecInto output length %d != %d", len(out), a.Rows))
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = dotUnrolled(a.Row(i), x)
 	}
-	wg.Wait()
 }

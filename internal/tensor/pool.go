@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// matrixAllocs counts every Matrix backing allocation made by New and the
+// Arena (pool misses). Tests use it to prove a steady-state search step is
+// allocation-flat on the matrix plane; see MatrixAllocs.
+var matrixAllocs atomic.Int64
+
+// MatrixAllocs returns the number of matrix backing-array allocations
+// performed so far by New and by Arena pool misses, process-wide. The
+// counter only ever grows; callers diff two readings around a region of
+// interest.
+func MatrixAllocs() int64 { return matrixAllocs.Load() }
+
+// numBuckets covers sizes up to 2^47 elements — far beyond anything the
+// process can address — so bucketFor never overflows the array.
+const numBuckets = 48
+
+// bucketFor returns the pool bucket for a backing array of n float64s:
+// the smallest b with 1<<b >= n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// bucketPool is the global, size-bucketed backing store shared by all
+// arenas: bucket b holds *Matrix values whose Data capacity is exactly
+// 1<<b. Draining an arena returns its buffers here so other shards (or
+// later searches) can reuse them.
+var bucketPool [numBuckets]sync.Pool
+
+// Arena is a region-style matrix allocator for the intermediates of one
+// forward/backward pass. Get hands out matrices; Release returns every
+// matrix handed out since the last Release to the arena's local free
+// lists, where the next pass reuses them without touching the global
+// pools or the GC. Drain hands the free lists back to the global
+// sync.Pool-backed store.
+//
+// Ownership rule: a matrix obtained from Get is valid until the next
+// Release on the same arena. Callers must not retain arena matrices
+// across Release (clone them instead), and must not Release while a
+// matrix is still referenced by in-flight work.
+//
+// An Arena is NOT safe for concurrent use; give each shard its own.
+// A nil *Arena is valid and degrades to plain heap allocation via New,
+// so arena-threaded code needs no nil checks at call sites.
+type Arena struct {
+	free [numBuckets][]*Matrix
+	out  []*Matrix
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Get returns a zero-filled rows×cols matrix owned by the arena (or by
+// the caller when a is nil).
+func (a *Arena) Get(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	m := a.GetNoZero(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// GetNoZero returns a rows×cols matrix owned by the arena without
+// clearing its contents; the caller must fully overwrite every element
+// before reading. Use Get when the kernel accumulates into the output.
+func (a *Arena) GetNoZero(rows, cols int) *Matrix {
+	if a == nil {
+		return New(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	need := rows * cols
+	b := bucketFor(need)
+	var m *Matrix
+	if n := len(a.free[b]); n > 0 {
+		m = a.free[b][n-1]
+		a.free[b][n-1] = nil
+		a.free[b] = a.free[b][:n-1]
+	} else if v := bucketPool[b].Get(); v != nil {
+		m = v.(*Matrix)
+	} else {
+		matrixAllocs.Add(1)
+		m = &Matrix{Data: make([]float64, 1<<b)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:need]
+	a.out = append(a.out, m)
+	return m
+}
+
+// Release returns every matrix handed out since the previous Release to
+// the arena's free lists. All such matrices become invalid; see the
+// ownership rule above. Nil-safe.
+func (a *Arena) Release() {
+	if a == nil {
+		return
+	}
+	for i, m := range a.out {
+		m.Data = m.Data[:cap(m.Data)]
+		a.free[bucketFor(cap(m.Data))] = append(a.free[bucketFor(cap(m.Data))], m)
+		a.out[i] = nil
+	}
+	a.out = a.out[:0]
+}
+
+// Drain releases outstanding matrices and hands the arena's free lists
+// back to the global pools, so the memory can serve other arenas or be
+// collected. Nil-safe.
+func (a *Arena) Drain() {
+	if a == nil {
+		return
+	}
+	a.Release()
+	for b := range a.free {
+		for i, m := range a.free[b] {
+			bucketPool[b].Put(m)
+			a.free[b][i] = nil
+		}
+		a.free[b] = a.free[b][:0]
+	}
+}
+
+// Live returns the number of matrices handed out since the last Release
+// (0 for nil arenas). Test hook.
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.out)
+}
+
+// ---------------------------------------------------------------------------
+// Persistent kernel worker pool.
+//
+// Large matmuls shard output rows across workers. Spawning a goroutine
+// per chunk per call (the old parallelRows) costs a scheduler round-trip
+// on every kernel invocation; instead a fixed set of workers, started on
+// first use and sized to GOMAXPROCS at that moment, receives fixed-shape
+// task structs over a channel. Tasks carry no closures, so dispatch
+// itself is allocation-free (WaitGroups are pooled).
+
+type kernelOp uint8
+
+const (
+	opMatMul kernelOp = iota
+	opMatMulTransA
+	opMatMulTransB
+)
+
+type kernelTask struct {
+	op     kernelOp
+	a, b   *Matrix
+	out    *Matrix
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func runKernelRange(t kernelTask) {
+	switch t.op {
+	case opMatMul:
+		matmulRows(t.a, t.b, t.out, t.lo, t.hi)
+	case opMatMulTransA:
+		transACols(t.a, t.b, t.out, t.lo, t.hi)
+	case opMatMulTransB:
+		transBRows(t.a, t.b, t.out, t.lo, t.hi)
+	}
+}
+
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+type kernelPool struct {
+	workers int
+	tasks   chan kernelTask
+}
+
+func newKernelPool(workers int) *kernelPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &kernelPool{workers: workers, tasks: make(chan kernelTask, 4*workers)}
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *kernelPool) work() {
+	for t := range p.tasks {
+		runKernelRange(t)
+		t.wg.Done()
+	}
+}
+
+// run shards [0,n) across the pool's workers and blocks until every
+// chunk has finished. When the queue is full (all workers busy — e.g.
+// several shards issuing large kernels at once) the submitter runs the
+// chunk inline instead of blocking, so the pool can never deadlock or
+// idle the submitting goroutine.
+func (p *kernelPool) run(n int, op kernelOp, a, b, out *Matrix) {
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		runKernelRange(kernelTask{op: op, a: a, b: b, out: out, lo: 0, hi: n})
+		return
+	}
+	wg := wgPool.Get().(*sync.WaitGroup)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		t := kernelTask{op: op, a: a, b: b, out: out, lo: lo, hi: hi, wg: wg}
+		select {
+		case p.tasks <- t:
+		default:
+			runKernelRange(t)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+var (
+	sharedKernelPool     *kernelPool
+	sharedKernelPoolOnce sync.Once
+)
+
+// sharedPool returns the process-wide kernel pool, started on first use
+// with GOMAXPROCS workers. With a single processor the pool is never
+// consulted: parallel dispatch short-circuits to the inline path.
+func sharedPool() *kernelPool {
+	sharedKernelPoolOnce.Do(func() {
+		sharedKernelPool = newKernelPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedKernelPool
+}

@@ -11,10 +11,23 @@ import "math"
 // its own generator. SplitMix64 passes BigCrush and splits cheaply.
 type RNG struct {
 	state uint64
+	zero  bool
 }
 
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// ZeroRNG returns a degenerate generator whose every draw is zero and
+// whose Split returns another such generator. Structural constructors
+// pass it when a tensor's initial values are irrelevant — e.g. Replicate
+// overwrites every replica weight with shared master storage, so the
+// Box–Muller work of a real initialization would be thrown away.
+//
+// RandN and GlorotUniform go further for a ZeroRNG: they return a
+// shape-only placeholder whose Data is nil, skipping the allocation too.
+// Any read of such a matrix before its storage is replaced panics, which
+// is deliberate — it catches a structural clone being used as a network.
+func ZeroRNG() *RNG { return &RNG{zero: true} }
 
 // State returns the generator's complete internal state. Together with
 // SetState it makes RNG streams checkpointable: a generator restored to a
@@ -27,10 +40,18 @@ func (r *RNG) SetState(state uint64) { r.state = state }
 
 // Split returns a new independent generator derived from r's stream,
 // advancing r. Derived generators are safe to hand to other goroutines.
-func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+func (r *RNG) Split() *RNG {
+	if r.zero {
+		return &RNG{zero: true}
+	}
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
 
-// Uint64 returns the next 64 uniformly random bits.
+// Uint64 returns the next 64 uniformly random bits (always 0 for ZeroRNG).
 func (r *RNG) Uint64() uint64 {
+	if r.zero {
+		return 0
+	}
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -92,8 +113,12 @@ func (r *RNG) Categorical(weights []float64) int {
 	return len(weights) - 1
 }
 
-// RandN fills a rows×cols matrix with N(0, std²) samples.
+// RandN fills a rows×cols matrix with N(0, std²) samples. For a ZeroRNG
+// it returns an unallocated shape-only placeholder — see ZeroRNG.
 func RandN(rows, cols int, std float64, r *RNG) *Matrix {
+	if r.zero {
+		return &Matrix{Rows: rows, Cols: cols}
+	}
 	m := New(rows, cols)
 	for i := range m.Data {
 		m.Data[i] = r.Norm() * std
@@ -102,10 +127,14 @@ func RandN(rows, cols int, std float64, r *RNG) *Matrix {
 }
 
 // GlorotUniform fills a fanIn×fanOut matrix with the Glorot/Xavier uniform
-// initialization, the default for dense layers.
+// initialization, the default for dense layers. For a ZeroRNG it returns
+// an unallocated shape-only placeholder — see ZeroRNG.
 func GlorotUniform(fanIn, fanOut int, r *RNG) *Matrix {
-	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	if r.zero {
+		return &Matrix{Rows: fanIn, Cols: fanOut}
+	}
 	m := New(fanIn, fanOut)
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
 	for i := range m.Data {
 		m.Data[i] = (2*r.Float64() - 1) * limit
 	}

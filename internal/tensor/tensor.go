@@ -27,6 +27,7 @@ func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
 	}
+	matrixAllocs.Add(1)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
@@ -106,6 +107,15 @@ func Add(a, b *Matrix) *Matrix {
 		out.Data[i] = a.Data[i] + b.Data[i]
 	}
 	return out
+}
+
+// AddInto computes a+b elementwise into out (which may alias a or b).
+func AddInto(a, b, out *Matrix) {
+	sameShape("AddInto", a, b)
+	sameShape("AddInto", a, out)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
 }
 
 // AddInPlace adds b into a elementwise and returns a.

@@ -2,7 +2,6 @@ package vitnet
 
 import (
 	"fmt"
-	"sync"
 
 	"h2onas/internal/controller"
 	"h2onas/internal/core"
@@ -63,7 +62,55 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 	assignments := make([]space.Assignment, cfg.Shards)
 	qualities := make([]float64, cfg.Shards)
 	batches := make([]*datapipe.SeqBatch, cfg.Shards)
-	maxA := maxAssignment(s.VS.Space)
+	maxA := core.MaxAssignment(s.VS.Space)
+
+	// Per-replica arenas: steady-state steps recycle all intermediates
+	// instead of allocating them. Drained on exit.
+	arenas := make([]*tensor.Arena, cfg.Shards)
+	for i := range replicas {
+		arenas[i] = tensor.NewArena()
+		replicas[i].SetArena(arenas[i])
+	}
+	defer func() {
+		for i, a := range arenas {
+			replicas[i].SetArena(nil)
+			a.Release()
+			a.Drain()
+		}
+	}()
+
+	// Perf is pure; memoize it (see core.MemoizedPerf).
+	perfFn := s.Perf
+	if mp := core.NewMemoizedPerf(s.Perf, cfg.PerfCacheSize, cfg.Metrics); mp != nil {
+		perfFn = mp.Eval
+	}
+	cands := core.NewCandidateRing(cfg.MaxCandidates)
+
+	// Long-lived shard workers, one per shard for the whole run (see
+	// core.Searcher.Search for the memory-ordering argument).
+	work := make([]chan int, cfg.Shards)
+	stepDone := make(chan struct{}, cfg.Shards)
+	for i := range work {
+		work[i] = make(chan int, 1)
+		go func(i int) {
+			for range work[i] {
+				shardSpan := sm.ShardTime.Start()
+				b := batches[i]
+				b.UseForArch()
+				loss, dout := replicas[i].Loss(assignments[i], b)
+				qualities[i] = 1 - loss/ln2
+				b.UseForWeights()
+				replicas[i].Backward(dout)
+				shardSpan.End()
+				stepDone <- struct{}{}
+			}
+		}(i)
+	}
+	defer func() {
+		for _, w := range work {
+			close(w)
+		}
+	}()
 
 	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
@@ -90,22 +137,12 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 		sampleSpan.End()
 
 		fanoutSpan := sm.FanoutTime.Start()
-		var wg sync.WaitGroup
 		for i := 0; i < cfg.Shards; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				shardSpan := sm.ShardTime.Start()
-				b := batches[i]
-				b.UseForArch()
-				loss, dout := replicas[i].Loss(assignments[i], b)
-				qualities[i] = 1 - loss/ln2
-				b.UseForWeights()
-				replicas[i].Backward(dout)
-				shardSpan.End()
-			}(i)
+			work[i] <- step
 		}
-		wg.Wait()
+		for n := 0; n < cfg.Shards; n++ {
+			<-stepDone
+		}
 		fanoutSpan.End()
 
 		if !warmup {
@@ -117,11 +154,11 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 			var policySamples []space.Assignment
 			var rewards []float64
 			for i := first; i < cfg.Shards; i++ {
-				perf := s.Perf(assignments[i])
+				perf := perfFn(assignments[i])
 				rw := s.Reward.Eval(qualities[i], perf)
 				policySamples = append(policySamples, assignments[i])
 				rewards = append(rewards, rw)
-				res.Candidates = append(res.Candidates, core.Candidate{
+				cands.Add(core.Candidate{
 					Step:       step - cfg.WarmupSteps,
 					Assignment: append(space.Assignment(nil), assignments[i]...),
 					Quality:    qualities[i],
@@ -156,7 +193,8 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 
 	res.Best = ctrl.Policy.MostProbable()
 	res.BestArch = s.VS.Decode(res.Best)
-	res.BestPerf = s.Perf(res.Best)
+	res.BestPerf = perfFn(res.Best)
+	res.Candidates = cands.Items()
 	final := s.Stream.NextBatch(cfg.BatchSize * 16)
 	final.UseForArch()
 	res.FinalQuality = master.Quality(res.Best, final)
@@ -166,20 +204,6 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 }
 
 const ln2 = 0.6931471805599453
-
-func maxAssignment(sp *space.Space) space.Assignment {
-	a := make(space.Assignment, len(sp.Decisions))
-	for i, d := range sp.Decisions {
-		best := 0
-		for j, v := range d.Values {
-			if v > d.Values[best] {
-				best = j
-			}
-		}
-		a[i] = best
-	}
-	return a
-}
 
 func meanReward(v []float64) float64 { return meanFloat(v) }
 

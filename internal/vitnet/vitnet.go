@@ -54,12 +54,21 @@ type Supernet struct {
 
 	params []*nn.Param
 
+	// arena, when set, owns every forward/backward intermediate; it is
+	// released (recycled) at the top of each Forward. One per shard
+	// replica — arenas are single-goroutine.
+	arena *tensor.Arena
+
 	// Forward tape consumed by Backward.
 	lastArch  space.ViTArch
 	lastBatch *datapipe.SeqBatch
 	tape      []poolCache
 	headIn    *tensor.Matrix
 	headSeq   int
+
+	// Reused token-index scatter buffers (one []int slot per position).
+	flat     [][]int
+	flatToks []int
 }
 
 // poolCache records a sequence-pooling step for backward.
@@ -134,10 +143,40 @@ func New(vs *space.ViTSpace, vocab, seqLen int, rng *tensor.RNG) *Supernet {
 // Params returns all shared parameters in a stable order.
 func (s *Supernet) Params() []*nn.Param { return s.params }
 
+// SetArena threads an arena through the super-network and all its layer
+// slots. Every intermediate from a Forward/Backward pass (including the
+// Loss gradient) is arena-owned: valid until the next Forward, which
+// recycles them. nil reverts to per-pass heap allocation.
+func (s *Supernet) SetArena(a *tensor.Arena) {
+	s.arena = a
+	s.tokens.Arena = a
+	for _, blk := range s.blocks {
+		for _, slot := range blk.layers {
+			slot.ln0.Arena = a
+			slot.ln1.Arena = a
+			slot.attn.SetArena(a)
+			slot.ffnUp.Arena = a
+			slot.ffnDown.Arena = a
+			if slot.act != nil {
+				slot.act.Arena = a
+			}
+		}
+	}
+	for _, tr := range s.trans {
+		tr.Arena = a
+	}
+	s.head.Arena = a
+}
+
 // Replicate returns a view sharing parameter values with s but with
 // independent gradients and forward caches — one per accelerator shard.
 func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
-	r := New(s.VS, s.vocab, s.seqLen, rng)
+	// The structural clone is built with a ZeroRNG: every replica weight
+	// is immediately replaced by the master's shared storage, so a real
+	// initialization would be thrown away. The rng argument is retained so
+	// call sites keep consuming one Split from their stream.
+	_ = rng
+	r := New(s.VS, s.vocab, s.seqLen, tensor.ZeroRNG())
 	for i, p := range r.params {
 		p.Value = s.params[i].Value
 	}
@@ -145,7 +184,11 @@ func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
 }
 
 // ReduceGrads averages the replicas' gradients into master's and clears
-// the replicas.
+// the replicas. Replica parameters whose Dirty flag is unset are skipped:
+// their gradients are exactly zero (either never touched, or zeroed by the
+// previous reduce), so the AXPY+Zero pass over them would be a no-op —
+// and under the depth sweep most per-layer slots are untouched on any
+// given step, which makes the skip the dominant saving.
 func ReduceGrads(master *Supernet, replicas []*Supernet) {
 	if len(replicas) == 0 {
 		return
@@ -153,8 +196,14 @@ func ReduceGrads(master *Supernet, replicas []*Supernet) {
 	inv := 1 / float64(len(replicas))
 	for i, p := range master.params {
 		for _, r := range replicas {
-			tensor.AXPY(p.Grad, inv, r.params[i].Grad)
-			r.params[i].Grad.Zero()
+			rp := r.params[i]
+			if !rp.Dirty {
+				continue
+			}
+			tensor.AXPY(p.Grad, inv, rp.Grad)
+			p.Dirty = true
+			rp.Grad.Zero()
+			rp.Dirty = false
 		}
 	}
 }
@@ -162,21 +211,29 @@ func ReduceGrads(master *Supernet, replicas []*Supernet) {
 // Forward runs the sub-network selected by the assignment over the batch
 // and returns logits (batch×1).
 func (s *Supernet) Forward(a space.Assignment, batch *datapipe.SeqBatch) *tensor.Matrix {
+	// Recycle the previous pass's intermediates (no-op without an arena).
+	s.arena.Release()
 	ar := s.VS.Decode(a)
 	s.lastArch = ar
 	s.lastBatch = batch
-	s.tape = nil
+	s.tape = s.tape[:0]
 
 	n := batch.Size()
 	seq := s.seqLen
 	h := ar.TFMBlocks[0].Hidden
 
-	// Token + positional embeddings at active width h.
+	// Token + positional embeddings at active width h. The single-id bag
+	// slots are sub-slices of one reused backing array.
 	s.tokens.SetActiveWidth(h)
-	flat := make([][]int, n*seq)
+	if cap(s.flat) < n*seq {
+		s.flat = make([][]int, n*seq)
+		s.flatToks = make([]int, n*seq)
+	}
+	flat := s.flat[:n*seq]
 	for i, toks := range batch.Tokens {
 		for t, tok := range toks {
-			flat[i*seq+t] = []int{tok}
+			s.flatToks[i*seq+t] = tok
+			flat[i*seq+t] = s.flatToks[i*seq+t : i*seq+t+1]
 		}
 	}
 	x := s.tokens.Forward(flat)
@@ -213,7 +270,7 @@ func (s *Supernet) Forward(a space.Assignment, batch *datapipe.SeqBatch) *tensor
 
 	// Mean over sequence, then the classifier head.
 	s.headSeq = seq
-	pooled := tensor.New(n, h)
+	pooled := s.arena.Get(n, h)
 	inv := 1 / float64(seq)
 	for i := 0; i < n; i++ {
 		prow := pooled.Row(i)
@@ -235,21 +292,29 @@ func (s *Supernet) runLayer(slot *layerSlot, x *tensor.Matrix, h, seq, rank int,
 	slot.ln0.SetActive(h)
 	slot.attn.SetActive(h, seq)
 	attnOut := slot.attn.Forward(slot.ln0.Forward(x))
-	y := tensor.Add(x, attnOut)
+	y := s.arena.GetNoZero(x.Rows, x.Cols)
+	tensor.AddInto(x, attnOut, y)
 
 	inner := s.ffnRatio * h
 	slot.ln1.SetActive(h)
 	slot.ffnUp.SetActive(h, inner, rank)
 	slot.ffnDown.SetActive(inner, h)
-	slot.act = nn.NewActivationLayer(act)
+	// The activation layer is pooled per slot; the searchable activation
+	// kind can change between passes.
+	if slot.act == nil || slot.act.Act != act {
+		slot.act = nn.NewActivationLayer(act)
+	}
+	slot.act.Arena = s.arena
 	ffnOut := slot.ffnDown.Forward(slot.act.Forward(slot.ffnUp.Forward(slot.ln1.Forward(y))))
-	return tensor.Add(y, ffnOut)
+	out := s.arena.GetNoZero(y.Rows, y.Cols)
+	tensor.AddInto(y, ffnOut, out)
+	return out
 }
 
 // pool halves the sequence by averaging adjacent positions.
 func (s *Supernet) pool(x *tensor.Matrix, n, seq, h int) (*tensor.Matrix, int) {
 	outSeq := seq / 2
-	out := tensor.New(n*outSeq, h)
+	out := s.arena.GetNoZero(n*outSeq, h)
 	for i := 0; i < n; i++ {
 		for t := 0; t < outSeq; t++ {
 			a := x.Row(i*seq + 2*t)
@@ -276,7 +341,7 @@ func (s *Supernet) Backward(dLogits *tensor.Matrix) {
 	h := dPooled.Cols
 	seq := s.headSeq
 	// Un-pool the mean over sequence.
-	grad := tensor.New(n*seq, h)
+	grad := s.arena.GetNoZero(n*seq, h)
 	inv := 1 / float64(seq)
 	for i := 0; i < n; i++ {
 		prow := dPooled.Row(i)
@@ -322,6 +387,7 @@ func (s *Supernet) Backward(dLogits *tensor.Matrix) {
 			}
 		}
 	}
+	s.pos.Dirty = true
 	s.tokens.Backward(grad)
 }
 
@@ -329,14 +395,19 @@ func (s *Supernet) Backward(dLogits *tensor.Matrix) {
 // LN1→FFN and adds to the residual path; then the attention branch.
 func (s *Supernet) backLayer(slot *layerSlot, grad *tensor.Matrix) *tensor.Matrix {
 	dFFN := slot.ffnUp.Backward(slot.act.Backward(slot.ffnDown.Backward(grad)))
-	dY := tensor.Add(grad, slot.ln1.Backward(dFFN))
+	dY := s.arena.GetNoZero(grad.Rows, grad.Cols)
+	tensor.AddInto(grad, slot.ln1.Backward(dFFN), dY)
 	dAttn := slot.ln0.Backward(slot.attn.Backward(dY))
-	return tensor.Add(dY, dAttn)
+	out := s.arena.GetNoZero(dY.Rows, dY.Cols)
+	tensor.AddInto(dY, dAttn, out)
+	return out
 }
 
 // unpool inverts the adjacent-pair average.
 func (s *Supernet) unpool(grad *tensor.Matrix, pc poolCache) (*tensor.Matrix, int) {
-	out := tensor.New(pc.batch*pc.inSeq, pc.width)
+	// Zeroed: with an odd input sequence the dropped trailing position
+	// receives no gradient, and that zero must be explicit.
+	out := s.arena.Get(pc.batch*pc.inSeq, pc.width)
 	for i := 0; i < pc.batch; i++ {
 		for t := 0; t < pc.outSeq; t++ {
 			g := grad.Row(i*pc.outSeq + t)
@@ -351,10 +422,13 @@ func (s *Supernet) unpool(grad *tensor.Matrix, pc poolCache) (*tensor.Matrix, in
 	return out, pc.inSeq
 }
 
-// Loss runs Forward and returns the BCE loss and logits gradient.
+// Loss runs Forward and returns the BCE loss and logits gradient. With
+// an arena set, the gradient is arena-owned: valid through Backward,
+// recycled by the next Forward.
 func (s *Supernet) Loss(a space.Assignment, batch *datapipe.SeqBatch) (float64, *tensor.Matrix) {
 	logits := s.Forward(a, batch)
-	return nn.BCEWithLogits{}.Eval(logits, batch.Labels)
+	grad := s.arena.GetNoZero(logits.Rows, logits.Cols)
+	return nn.BCEWithLogits{}.EvalInto(logits, batch.Labels, grad), grad
 }
 
 // Quality is 1 − logloss/ln 2 on the batch (forward only).
