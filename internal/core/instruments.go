@@ -17,6 +17,12 @@ type SearchMetrics struct {
 	PolicyTime  *metrics.Histogram // cross-shard REINFORCE update
 	WeightsTime *metrics.Histogram // gradient reduce + optimizer step
 
+	// GradNorm is the pre-clip global L2 gradient norm of every weight
+	// step (warmup included) — the exploding/vanishing-gradient signal.
+	// The histogram's recent quantiles plus min/max surface both tails in
+	// /metrics.
+	GradNorm *metrics.Histogram
+
 	// Quality/convergence trend gauges, refreshed every step.
 	Reward          *metrics.Gauge
 	Quality         *metrics.Gauge
@@ -58,6 +64,8 @@ func NewSearchMetrics(r *metrics.Registry) SearchMetrics {
 		FanoutTime:  r.Histogram("search_phase_fanout_seconds"),
 		PolicyTime:  r.Histogram("search_phase_policy_update_seconds"),
 		WeightsTime: r.Histogram("search_phase_weight_update_seconds"),
+
+		GradNorm: r.Histogram("search_grad_norm"),
 
 		Reward:          r.Gauge("search_mean_reward"),
 		Quality:         r.Gauge("search_mean_quality"),

@@ -227,6 +227,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	ctrl := controller.New(s.DS.Space, cfg.Controller)
 	ctrl.Metrics = cfg.Metrics
 	opt := nn.NewAdam(cfg.WeightLR)
+	spine := nn.NewSpine(master.Params(), opt, 10)
 	sm := NewSearchMetrics(cfg.Metrics)
 
 	var mgr *checkpoint.Manager
@@ -289,6 +290,10 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	qualities := make([]float64, cfg.Shards)
 	batches := make([]*datapipe.Batch, cfg.Shards)
 	alive := make([]bool, cfg.Shards)
+	// liveParams collects the surviving replicas' param lists for the
+	// cross-shard reduce; preallocated once so the steady-state step stays
+	// allocation-flat on the coordinator too.
+	liveParams := make([][]*nn.Param, 0, cfg.Shards)
 
 	retries := cfg.ShardRetries
 	if retries == 0 {
@@ -357,6 +362,29 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 	}()
 
+	// Stage-3 spine worker: the cross-shard gradient reduce and fused
+	// clip+Adam weight step run here, overlapped with the coordinator's
+	// stage 2 (perf eval, reward, REINFORCE update) — the two stages touch
+	// disjoint state (master weights + optimizer vs. policy, perf cache
+	// and reward bookkeeping). The coordinator's send on spineWork
+	// happens-before the worker's read of liveParams; the worker's send on
+	// spineDone happens-before the coordinator's next read of the master
+	// weights (the checkpoint, the next fan-out, and the final eval all
+	// sit after the join).
+	spineWork := make(chan struct{}, 1)
+	spineDone := make(chan struct{}, 1)
+	var spineNorm float64
+	go func() {
+		for range spineWork {
+			weightsSpan := sm.WeightsTime.Start()
+			spine.Reduce(liveParams)
+			spineNorm = spine.ClipStep()
+			weightsSpan.End()
+			spineDone <- struct{}{}
+		}
+	}()
+	defer close(spineWork)
+
 	maxA := MaxAssignment(s.DS.Space)
 	for step := startStep; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
@@ -405,13 +433,13 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		// never ran Backward, so their replica gradients are still zero
 		// and excluding them keeps the surviving shards' gradient average
 		// unbiased.
-		live := make([]*supernet.Supernet, 0, cfg.Shards)
+		liveParams = liveParams[:0]
 		for i, ok := range alive {
 			if ok {
-				live = append(live, replicas[i])
+				liveParams = append(liveParams, replicas[i].Params())
 			}
 		}
-		if len(live) == 0 {
+		if len(liveParams) == 0 {
 			// Every shard failed: nothing to learn from this step.
 			// Degrade by skipping the updates rather than killing the run.
 			sm.StepsSkipped.Inc()
@@ -419,6 +447,12 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			s.maybeCheckpoint(&cfg, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 			continue
 		}
+
+		// Stage 3 (cross-shard) starts first, on the spine worker: reduce
+		// the surviving replicas' gradients and step W while the
+		// coordinator runs stage 2 below on disjoint state. The join is
+		// after stage 2, before anything reads the master weights again.
+		spineWork <- struct{}{}
 
 		// Stage 2: cross-shard policy update from (Q, T) → R. The
 		// sandwich shard trains weights only; its fixed candidate would
@@ -454,14 +488,10 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			policySpan.End()
 		}
 
-		// Stage 3 (cross-shard): reduce the surviving replicas' gradients
-		// and step W.
-		weightsSpan := sm.WeightsTime.Start()
-		supernet.ReduceGrads(master, live)
-		nn.ClipGradNorm(master.Params(), 10)
-		opt.Step(master.Params())
-		nn.ZeroGrads(master.Params())
-		weightsSpan.End()
+		// Join stage 3: from here on the master weights, the optimizer
+		// moments and the pre-clip gradient norm are settled.
+		<-spineDone
+		sm.GradNorm.Observe(spineNorm)
 
 		if !warmup {
 			info := StepInfo{

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"h2onas/internal/reward"
+)
+
+// TestSearchBitIdenticalAcrossGOMAXPROCS runs the same search under
+// GOMAXPROCS=1 (which forces the spine's serial reduce/clip/step path)
+// and under full parallelism, and asserts the two trajectories are
+// bit-identical: same best architecture, the same History floats to the
+// last bit, and the same final quality. This is the end-to-end check of
+// the spine's determinism contract — parallel across params, serial
+// within a param, fixed combination order — on top of the per-kernel
+// unit tests in internal/nn.
+func TestSearchBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) *Result {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		s, _ := testSearcher(t, reward.ReLU, 1.0, 11)
+		cfg := fastConfig(11)
+		cfg.Steps, cfg.WarmupSteps = 20, 5
+		res, err := s.Search(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+
+	if len(serial.Best) != len(parallel.Best) {
+		t.Fatalf("Best lengths differ: %d vs %d", len(serial.Best), len(parallel.Best))
+	}
+	for i := range serial.Best {
+		if serial.Best[i] != parallel.Best[i] {
+			t.Fatalf("Best[%d] = %d (parallel), want %d (serial)", i, parallel.Best[i], serial.Best[i])
+		}
+	}
+	if len(serial.History) != len(parallel.History) {
+		t.Fatalf("History lengths differ: %d vs %d", len(serial.History), len(parallel.History))
+	}
+	for i := range serial.History {
+		a, b := serial.History[i], parallel.History[i]
+		if a.Step != b.Step || a.MeanReward != b.MeanReward || a.MeanQ != b.MeanQ ||
+			a.Entropy != b.Entropy || a.Confidence != b.Confidence {
+			t.Fatalf("History[%d] differs: serial %+v, parallel %+v", i, a, b)
+		}
+	}
+	if serial.FinalQuality != parallel.FinalQuality {
+		t.Fatalf("FinalQuality = %v (parallel), want %v (serial)", parallel.FinalQuality, serial.FinalQuality)
+	}
+}

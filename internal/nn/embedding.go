@@ -36,6 +36,9 @@ func NewEmbedding(vocab, maxWidth int, rng *tensor.RNG) *Embedding {
 		activeWidth: maxWidth,
 		activeVocab: vocab,
 	}
+	// Lookups scatter gradients into a handful of rows per step; row
+	// tracking lets the weight-update spine touch only those rows.
+	e.Table.EnableRowTracking()
 	return e
 }
 
@@ -95,8 +98,10 @@ func (e *Embedding) Backward(grad *tensor.Matrix) {
 		grow := grad.Row(i)[:e.activeWidth]
 		inv := 1 / float64(len(bag))
 		for _, idx := range bag {
-			trow := e.Table.Grad.Row(e.fold(idx))[:e.activeWidth]
+			r := e.fold(idx)
+			trow := e.Table.Grad.Row(r)[:e.activeWidth]
 			tensor.Axpy(trow, inv, grow)
+			e.Table.MarkRow(r)
 		}
 	}
 	e.Table.Dirty = true

@@ -23,6 +23,25 @@ type Param struct {
 	// layer Backward must set Dirty itself or the skip paths will treat
 	// the gradient as zero.
 	Dirty bool
+
+	// RowSparse refines the Dirty invariant to row granularity for
+	// scatter-written params (embedding tables): when set, every write
+	// to a Grad row must be paired with MarkRow, and the invariant
+	// becomes "a row not in DirtyRows is exactly zero". The coordinator
+	// spine exploits this to reduce, norm, update and clear only the
+	// rows a step actually touched — on a weight-sharing search the
+	// overwhelming majority of embedding rows are untouched each step,
+	// and walking them is pure memory traffic.
+	RowSparse bool
+	// DirtyRows lists the rows written since the last ClearRows, in
+	// first-write order, deduplicated. Only meaningful when RowSparse.
+	DirtyRows []int32
+
+	// rowMark/rowEpoch implement O(1) dedup and O(1) clear: a row is
+	// recorded iff its stamp differs from the current epoch, and
+	// ClearRows bumps the epoch instead of rewriting the stamps.
+	rowMark  []int32
+	rowEpoch int32
 }
 
 // NewParam allocates a parameter with a zeroed gradient of matching shape.
@@ -30,14 +49,55 @@ func NewParam(name string, value *tensor.Matrix) *Param {
 	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
 }
 
+// EnableRowTracking opts the param into row-granular dirty tracking
+// (see RowSparse). The layer that owns the param must MarkRow every
+// gradient row it writes from then on.
+func (p *Param) EnableRowTracking() { p.RowSparse = true }
+
+// MarkRow records row r as written since the last ClearRows. Duplicate
+// marks are absorbed in O(1).
+func (p *Param) MarkRow(r int) {
+	if p.rowMark == nil {
+		p.rowMark = make([]int32, p.Value.Rows)
+		p.rowEpoch = 1
+	}
+	if p.rowMark[r] != p.rowEpoch {
+		p.rowMark[r] = p.rowEpoch
+		p.DirtyRows = append(p.DirtyRows, int32(r))
+	}
+}
+
+// ClearRows empties the dirty-row worklist. The epoch bump invalidates
+// every stamp without walking the mark array; the worklist keeps its
+// capacity so steady-state steps allocate nothing.
+func (p *Param) ClearRows() {
+	p.DirtyRows = p.DirtyRows[:0]
+	if p.rowMark != nil {
+		p.rowEpoch++
+	}
+}
+
 // ZeroGrad clears the accumulated gradient and the Dirty mark. A clean
 // param's gradient is already zero by the Dirty invariant, so the memclr
-// runs only for params that were actually written since the last clear.
+// runs only for params that were actually written since the last clear —
+// and, for row-sparse params, only over the rows actually written.
 func (p *Param) ZeroGrad() {
 	if !p.Dirty {
 		return
 	}
-	p.Grad.Zero()
+	if p.RowSparse && p.rowMark != nil {
+		gd := p.Grad.Data
+		cols := p.Grad.Cols
+		for _, r := range p.DirtyRows {
+			row := gd[int(r)*cols : (int(r)+1)*cols]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		p.ClearRows()
+	} else {
+		p.Grad.Zero()
+	}
 	p.Dirty = false
 }
 
@@ -227,7 +287,17 @@ type LowRankDense struct {
 
 	activeIn, activeOut, activeRank int
 	input, hidden                   *tensor.Matrix
+	reluInput                       bool
 }
+
+// SetReLUInput declares that the layer's input is the direct output of a
+// ReLU whose backward pass consumes this layer's dX. Under that wiring an
+// exactly-zero input element means the upstream mask discards dX at that
+// position (ReLU backward selects, it does not multiply), so Backward may
+// write zero there without computing the dot product. Only set this when
+// the consumer of dX really is that ReLU's backward — with the flag off,
+// Backward computes every dX element.
+func (l *LowRankDense) SetReLUInput(on bool) { l.reluInput = on }
 
 // NewLowRankDense returns a super-network low-rank layer sized for the
 // largest candidate in every dimension.
@@ -240,7 +310,7 @@ type LowRankDense struct {
 // layer, making deep factorized candidates untrainable.
 func NewLowRankDense(maxIn, maxOut, maxRank int, rng *tensor.RNG) *LowRankDense {
 	vStd := math.Sqrt(float64(maxIn+maxRank) / (float64(maxIn+maxOut) * float64(maxRank)))
-	return &LowRankDense{
+	l := &LowRankDense{
 		U:          NewParam(fmt.Sprintf("lowrank_u_%dx%d", maxIn, maxRank), tensor.GlorotUniform(maxIn, maxRank, rng)),
 		V:          NewParam(fmt.Sprintf("lowrank_v_%dx%d", maxRank, maxOut), tensor.RandN(maxRank, maxOut, vStd, rng)),
 		B:          NewParam(fmt.Sprintf("lowrank_b_%d", maxOut), tensor.New(1, maxOut)),
@@ -248,6 +318,13 @@ func NewLowRankDense(maxIn, maxOut, maxRank int, rng *tensor.RNG) *LowRankDense 
 		activeOut:  maxOut,
 		activeRank: maxRank,
 	}
+	// A step writes gradient only into the active sub-block: U rows
+	// [0,activeIn) and V rows [0,activeRank). Row tracking lets the
+	// weight-update spine reduce, norm and step just those rows instead
+	// of the factor's maximum extent.
+	l.U.EnableRowTracking()
+	l.V.EnableRowTracking()
+	return l
 }
 
 // SetActive selects the active input width, output width and rank.
@@ -270,29 +347,44 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.input = x
 	h := l.Arena.Get(x.Rows, l.activeRank)
-	for i := 0; i < x.Rows; i++ {
-		xrow := x.Row(i)
-		hrow := h.Row(i)
-		for k := 0; k < l.activeIn; k++ {
-			xv := xrow[k]
+	// Both products are blocked factor-row-outer, batch-row-inner so each
+	// factor row stays cache-hot across the batch instead of the whole
+	// factor being re-streamed per example (see Backward). Each output
+	// element still accumulates its k contributions in ascending order,
+	// and the zero-input skip is decided per (i,k) either way, so the
+	// result is bit-identical to the batch-outer form.
+	uv, ucols := l.U.Value.Data, l.U.Value.Cols
+	xd, xcols := x.Data, x.Cols
+	hd, hcols := h.Data, h.Cols
+	nRank := l.activeRank
+	rows := x.Rows
+	for k := 0; k < l.activeIn; k++ {
+		w := uv[k*ucols : k*ucols+nRank]
+		for i := 0; i < rows; i++ {
+			xv := xd[i*xcols+k]
 			if xv == 0 {
 				continue
 			}
-			tensor.Axpy(hrow, xv, l.U.Value.Row(k))
+			tensor.Axpy(hd[i*hcols:i*hcols+nRank], xv, w)
 		}
 	}
 	l.hidden = h
 	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
-	for i := 0; i < x.Rows; i++ {
-		hrow := h.Row(i)
-		orow := out.Row(i)
-		copy(orow, l.B.Value.Data[:l.activeOut])
-		for k := 0; k < l.activeRank; k++ {
-			hv := hrow[k]
+	nOut := l.activeOut
+	vv, vcols := l.V.Value.Data, l.V.Value.Cols
+	od, ocols := out.Data, out.Cols
+	bias := l.B.Value.Data[:nOut]
+	for i := 0; i < rows; i++ {
+		copy(od[i*ocols:i*ocols+nOut], bias)
+	}
+	for k := 0; k < nRank; k++ {
+		w := vv[k*vcols : k*vcols+nOut]
+		for i := 0; i < rows; i++ {
+			hv := hd[i*hcols+k]
 			if hv == 0 {
 				continue
 			}
-			tensor.Axpy(orow, hv, l.V.Value.Row(k))
+			tensor.Axpy(od[i*ocols:i*ocols+nOut], hv, w)
 		}
 	}
 	return out
@@ -308,22 +400,113 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	x, h := l.input, l.hidden
 	dh := l.Arena.GetNoZero(x.Rows, l.activeRank)
-	for i := 0; i < x.Rows; i++ {
-		grow := grad.Row(i)
-		hrow := h.Row(i)
-		dhrow := dh.Row(i)
-		for k := 0; k < l.activeRank; k++ {
-			dhrow[k] = fusedBackwardRow(grow, l.V.Value.Row(k), l.V.Grad.Row(k), hrow[k])
+	// Both passes below are fusedBackwardRow inlined by hand and blocked
+	// factor-row-outer, batch-row-inner: the old batch-outer order
+	// re-streamed both factor matrices (value and gradient) from memory
+	// once per example, which made the backward pass bandwidth-bound.
+	// With the factor row outermost, each value/gradient row pair stays
+	// cache-hot across the whole batch and is streamed exactly once. The
+	// arithmetic is element-for-element unchanged — every dot uses the
+	// same four-accumulator pattern, and each gradient element still
+	// accumulates its batch contributions in ascending example order — so
+	// results are bit-identical to the unblocked form.
+	vv, vg := l.V.Value.Data, l.V.Grad.Data
+	gd, hd, dhd := grad.Data, h.Data, dh.Data
+	gcols, hcols, dhcols := grad.Cols, h.Cols, dh.Cols
+	vcols := l.V.Value.Cols
+	nOut := l.activeOut
+	rows := x.Rows
+	for k := 0; k < l.activeRank; k++ {
+		base := k * vcols
+		w := vv[base : base+nOut]
+		gw := vg[base : base+nOut]
+		l.V.MarkRow(k)
+		for i := 0; i < rows; i++ {
+			grow := gd[i*gcols : i*gcols+nOut]
+			hv := hd[i*hcols+k]
+			var s0, s1, s2, s3 float64
+			j := 0
+			for ; j+3 < nOut; j += 4 {
+				g0, g1, g2, g3 := grow[j], grow[j+1], grow[j+2], grow[j+3]
+				s0 += g0 * w[j]
+				gw[j] += g0 * hv
+				s1 += g1 * w[j+1]
+				gw[j+1] += g1 * hv
+				s2 += g2 * w[j+2]
+				gw[j+2] += g2 * hv
+				s3 += g3 * w[j+3]
+				gw[j+3] += g3 * hv
+			}
+			for ; j < nOut; j++ {
+				gv := grow[j]
+				s0 += gv * w[j]
+				gw[j] += gv * hv
+			}
+			dhd[i*dhcols+k] = s0 + s1 + s2 + s3
 		}
-		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
+	}
+	for i := 0; i < rows; i++ {
+		tensor.Axpy(l.B.Grad.Data[:nOut], 1, gd[i*gcols:i*gcols+nOut])
 	}
 	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
-	for i := 0; i < x.Rows; i++ {
-		dhrow := dh.Row(i)
-		xrow := x.Row(i)
-		dxrow := dx.Row(i)
-		for k := 0; k < l.activeIn; k++ {
-			dxrow[k] = fusedBackwardRow(dhrow, l.U.Value.Row(k), l.U.Grad.Row(k), xrow[k])
+	uv, ug := l.U.Value.Data, l.U.Grad.Data
+	xd, dxd := x.Data, dx.Data
+	xcols, dxcols := x.Cols, dx.Cols
+	ucols := l.U.Value.Cols
+	nRank := l.activeRank
+	reluIn := l.reluInput
+	for k := 0; k < l.activeIn; k++ {
+		base := k * ucols
+		w := uv[base : base+nRank]
+		gw := ug[base : base+nRank]
+		l.U.MarkRow(k)
+		for i := 0; i < rows; i++ {
+			xv := xd[i*xcols+k]
+			if xv == 0 && reluIn {
+				// The upstream ReLU mask discards dX here (see
+				// SetReLUInput) and the dU contribution is exactly zero,
+				// so the whole column-row pair is dead work.
+				dxd[i*dxcols+k] = 0
+				continue
+			}
+			dhrow := dhd[i*dhcols : i*dhcols+nRank]
+			var s0, s1, s2, s3 float64
+			j := 0
+			if xv == 0 {
+				// Inputs arrive through ReLU, so exact zeros are common.
+				// dU += dh·x adds exactly zero for this column; only the
+				// dot product for dx remains, and skipping the gradient
+				// row halves the traffic. Same accumulator pattern, so
+				// dx is bit-identical.
+				for ; j+3 < nRank; j += 4 {
+					s0 += dhrow[j] * w[j]
+					s1 += dhrow[j+1] * w[j+1]
+					s2 += dhrow[j+2] * w[j+2]
+					s3 += dhrow[j+3] * w[j+3]
+				}
+				for ; j < nRank; j++ {
+					s0 += dhrow[j] * w[j]
+				}
+				dxd[i*dxcols+k] = s0 + s1 + s2 + s3
+				continue
+			}
+			for ; j+3 < nRank; j += 4 {
+				g0, g1, g2, g3 := dhrow[j], dhrow[j+1], dhrow[j+2], dhrow[j+3]
+				s0 += g0 * w[j]
+				gw[j] += g0 * xv
+				s1 += g1 * w[j+1]
+				gw[j+1] += g1 * xv
+				s2 += g2 * w[j+2]
+				gw[j+2] += g2 * xv
+				s3 += g3 * w[j+3]
+				gw[j+3] += g3 * xv
+			}
+			for ; j < nRank; j++ {
+				gv := dhrow[j]
+				s0 += gv * w[j]
+				gw[j] += gv * xv
+			}
+			dxd[i*dxcols+k] = s0 + s1 + s2 + s3
 		}
 	}
 	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true

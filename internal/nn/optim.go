@@ -68,10 +68,6 @@ func NewAdam(lr float64) *Adam {
 
 // Step applies one bias-corrected Adam update.
 func (o *Adam) Step(params []*Param) {
-	if o.m == nil {
-		o.m = make(map[*Param]*tensor.Matrix)
-		o.v = make(map[*Param]*tensor.Matrix)
-	}
 	o.t++
 	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
@@ -87,9 +83,7 @@ func (o *Adam) Step(params []*Param) {
 			if allZero(p.Grad.Data) {
 				continue
 			}
-			m = tensor.New(p.Grad.Rows, p.Grad.Cols)
-			o.m[p] = m
-			o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
+			m = o.alloc(p)
 		}
 		v := o.v[p]
 		for i, g := range p.Grad.Data {
@@ -100,6 +94,18 @@ func (o *Adam) Step(params []*Param) {
 			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
 		}
 	}
+}
+
+// alloc lazily allocates p's moment matrices.
+func (o *Adam) alloc(p *Param) *tensor.Matrix {
+	if o.m == nil {
+		o.m = make(map[*Param]*tensor.Matrix)
+		o.v = make(map[*Param]*tensor.Matrix)
+	}
+	m := tensor.New(p.Grad.Rows, p.Grad.Cols)
+	o.m[p] = m
+	o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
+	return m
 }
 
 // AdamState is the optimizer's portable state: the bias-correction step
@@ -147,6 +153,14 @@ func (o *Adam) LoadState(params []*Param, st AdamState) error {
 	o.m = make(map[*Param]*tensor.Matrix, len(params))
 	o.v = make(map[*Param]*tensor.Matrix, len(params))
 	for i, p := range params {
+		// All-zero moment pairs are what State exports for params the
+		// optimizer never stepped; leaving them unallocated reproduces the
+		// pre-checkpoint optimizer exactly (a zero moment steps a zero
+		// update) without re-materializing moment storage for parameters
+		// the interrupted run never touched.
+		if allZero(st.M[i]) && allZero(st.V[i]) {
+			continue
+		}
 		m := tensor.New(p.Value.Rows, p.Value.Cols)
 		copy(m.Data, st.M[i])
 		v := tensor.New(p.Value.Rows, p.Value.Cols)

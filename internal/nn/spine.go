@@ -1,0 +1,305 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"h2onas/internal/tensor"
+)
+
+// reduceParamAt folds param i of every replica into master param p,
+// averaging by 1/len(replicas) (inv), in replica slice order. Row-sparse
+// replica params contribute only their dirty rows (the rest are exactly
+// zero by the row invariant), and the touched rows are recorded on the
+// master so downstream passes can stay row-granular. Both the serial
+// reference (ReduceParamGrads) and the parallel spine reduce call this
+// one function, so serial and parallel reduces are bit-identical by
+// construction — parallelism only changes which goroutine handles which
+// param, never the work done for a param.
+func reduceParamAt(p *Param, replicas [][]*Param, i int, inv float64) {
+	for _, rep := range replicas {
+		rp := rep[i]
+		if !rp.Dirty {
+			continue
+		}
+		if p.RowSparse && rp.RowSparse && rp.rowMark != nil {
+			cols := p.Grad.Cols
+			mgd, rgd := p.Grad.Data, rp.Grad.Data
+			for _, r := range rp.DirtyRows {
+				base := int(r) * cols
+				tensor.Axpy(mgd[base:base+cols], inv, rgd[base:base+cols])
+				row := rgd[base : base+cols]
+				for j := range row {
+					row[j] = 0
+				}
+				p.MarkRow(int(r))
+			}
+			rp.ClearRows()
+		} else {
+			tensor.AXPY(p.Grad, inv, rp.Grad)
+			rp.Grad.Zero()
+			rp.ClearRows()
+			if p.RowSparse {
+				// A dense contribution can touch any row; keep the row
+				// invariant by marking them all. Does not happen on the
+				// search path, where master and replicas are clones.
+				for r := 0; r < p.Grad.Rows; r++ {
+					p.MarkRow(r)
+				}
+			}
+		}
+		p.Dirty = true
+		rp.Dirty = false
+	}
+}
+
+// ReduceParamGrads is the serial reference cross-replica gradient reduce:
+// it sums the replicas' gradients into master's (averaging by replica
+// count), clears the replicas' gradients, and returns the worklist of
+// master param indices that are dirty afterwards, appended to wl (reset
+// to length zero first, so a reused buffer stays allocation-free).
+//
+// Replica params whose Dirty flag is clear are skipped: by the Dirty
+// invariant their gradients are exactly zero, so the AXPY would add zero
+// and the Zero would clear zeros. Row-sparse params are reduced row by
+// row over their dirty-row worklists, same argument one level down.
+// Spine.Reduce is the parallel equivalent — parallel across params,
+// serial within a param — and is bit-identical to this function because
+// both run reduceParamAt per param.
+func ReduceParamGrads(master []*Param, replicas [][]*Param, wl []int) []int {
+	wl = wl[:0]
+	if len(replicas) == 0 {
+		return wl
+	}
+	inv := 1 / float64(len(replicas))
+	for i, p := range master {
+		reduceParamAt(p, replicas, i, inv)
+		if p.Dirty {
+			wl = append(wl, i)
+		}
+	}
+	return wl
+}
+
+// applyEntry is one parameter's share of the fused clip+Adam pass. rows
+// is the dirty-row worklist for row-sparse params; nil means the whole
+// gradient is live and the update walks it densely.
+type applyEntry struct {
+	p    *Param
+	m, v *tensor.Matrix
+	rows []int32
+}
+
+// Spine is the coordinator's parallel cross-shard weight-update engine
+// for one search: gradient reduce, global-norm clipping and the Adam
+// update, parallelized across parameters on the shared kernel worker
+// pool while staying bit-deterministic for any worker count.
+//
+// The determinism argument has two parts. Across params, every pass
+// (reduce, partial sum-of-squares, fused update) touches disjoint state —
+// one chunk owns a contiguous range of the param list and no two chunks
+// share a param — so results are independent of chunk boundaries and
+// scheduling. Within a param, the accumulation order is fixed: the reduce
+// visits replicas in slice order and rows in first-write order, and the
+// per-element kernels (Axpy, Dot) use the same fixed-order loops as the
+// serial reference. The only cross-param combination — summing the
+// per-param squared-norm partials — runs serially in worklist (= param
+// index) order.
+//
+// The update itself follows lazy-Adam semantics: only params (and, for
+// row-sparse embedding tables, only rows) with a live gradient this step
+// are stepped; untouched moments are frozen rather than decayed. That is
+// the standard sparse-Adam variant — exactly as deterministic as the
+// eager form, and it keeps the per-step cost proportional to what the
+// step touched instead of to everything ever touched.
+//
+// A Spine is owned by a single goroutine at a time (the search's stage-3
+// worker); it is not safe for concurrent use, but distinct searches with
+// distinct Spines can run concurrently. Steady-state Reduce+ClipStep
+// calls perform no heap allocations: the worklist, partial and apply
+// buffers are reused, and the dispatch closures are hoisted at
+// construction.
+type Spine struct {
+	params  []*Param
+	opt     *Adam
+	maxNorm float64
+	// workers bounds the parallelism of every pass. It is captured from
+	// GOMAXPROCS at construction so a GOMAXPROCS=1 run takes the serial
+	// path even when the process-wide kernel pool was sized earlier with
+	// more workers. Tests override it directly.
+	workers int
+
+	// Per-call state, published to the hoisted closures before dispatch
+	// and read back after the ParallelFor barrier.
+	replicas [][]*Param
+	inv      float64
+	dirty    []int
+	sumsq    []float64
+	scale    float64
+	c1, c2   float64
+	apply    []applyEntry
+
+	reduceFn func(lo, hi int)
+	normFn   func(lo, hi int)
+	applyFn  func(lo, hi int)
+}
+
+// NewSpine builds the update engine for params, stepping with opt and
+// clipping the global gradient norm to maxNorm (<= 0 disables clipping).
+func NewSpine(params []*Param, opt *Adam, maxNorm float64) *Spine {
+	s := &Spine{
+		params:  params,
+		opt:     opt,
+		maxNorm: maxNorm,
+		workers: runtime.GOMAXPROCS(0),
+	}
+	s.reduceFn = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			reduceParamAt(s.params[i], s.replicas, i, s.inv)
+		}
+	}
+	s.normFn = func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := s.params[s.dirty[k]]
+			g := p.Grad.Data
+			if p.RowSparse && p.rowMark != nil {
+				cols := p.Grad.Cols
+				var sq float64
+				for _, r := range p.DirtyRows {
+					row := g[int(r)*cols : (int(r)+1)*cols]
+					sq += tensor.Dot(row, row)
+				}
+				s.sumsq[k] = sq
+			} else {
+				s.sumsq[k] = tensor.Dot(g, g)
+			}
+		}
+	}
+	s.applyFn = func(lo, hi int) {
+		o := s.opt
+		b1, b2 := o.Beta1, o.Beta2
+		for k := lo; k < hi; k++ {
+			e := s.apply[k]
+			pv, md, vd, gd := e.p.Value.Data, e.m.Data, e.v.Data, e.p.Grad.Data
+			if e.rows == nil {
+				for i := range gd {
+					gv := gd[i] * s.scale
+					md[i] = b1*md[i] + (1-b1)*gv
+					vd[i] = b2*vd[i] + (1-b2)*gv*gv
+					mhat := md[i] / s.c1
+					vhat := vd[i] / s.c2
+					pv[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+					gd[i] = 0
+				}
+			} else {
+				cols := e.p.Grad.Cols
+				for _, r := range e.rows {
+					base := int(r) * cols
+					for i := base; i < base+cols; i++ {
+						gv := gd[i] * s.scale
+						md[i] = b1*md[i] + (1-b1)*gv
+						vd[i] = b2*vd[i] + (1-b2)*gv*gv
+						mhat := md[i] / s.c1
+						vhat := vd[i] / s.c2
+						pv[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+						gd[i] = 0
+					}
+				}
+				e.p.ClearRows()
+			}
+			e.p.Dirty = false
+		}
+	}
+	return s
+}
+
+// Reduce performs the cross-shard gradient reduce from the replicas'
+// param lists into the spine's master params, parallel across params and
+// serial (slice order) within each param, and rebuilds the dirty-param
+// worklist that ClipStep consumes. The returned slice is owned by the
+// spine and valid until the next Reduce.
+func (s *Spine) Reduce(replicas [][]*Param) []int {
+	for _, rep := range replicas {
+		if len(rep) != len(s.params) {
+			panic(fmt.Sprintf("nn: replica has %d params, master has %d", len(rep), len(s.params)))
+		}
+	}
+	if len(replicas) > 0 {
+		s.replicas = replicas
+		s.inv = 1 / float64(len(replicas))
+		tensor.ParallelFor(len(s.params), s.workers, s.reduceFn)
+		s.replicas = nil
+	}
+	s.dirty = s.dirty[:0]
+	for i, p := range s.params {
+		if p.Dirty {
+			s.dirty = append(s.dirty, i)
+		}
+	}
+	return s.dirty
+}
+
+// ClipStep applies the fused clip+Adam update over the current dirty
+// worklist and returns the pre-clip global gradient norm. It replaces the
+// ClipGradNorm → Adam.Step → ZeroGrads spine with a single parallel pass
+// per dirty param: the per-param squared-norm partials are computed in
+// parallel and combined serially in param order, then each dirty param's
+// clip scale, Adam moments, weight update and gradient clear happen in
+// one traversal — over only the dirty rows for row-sparse params. Clean
+// params are never touched at all: the update is lazy Adam (see Spine),
+// so there is no decay pass over previously stepped parameters.
+func (s *Spine) ClipStep() float64 {
+	o := s.opt
+	o.t++
+	s.c1 = 1 - math.Pow(o.Beta1, float64(o.t))
+	s.c2 = 1 - math.Pow(o.Beta2, float64(o.t))
+
+	if cap(s.sumsq) < len(s.dirty) {
+		s.sumsq = make([]float64, len(s.dirty))
+	}
+	s.sumsq = s.sumsq[:len(s.dirty)]
+	tensor.ParallelFor(len(s.dirty), s.workers, s.normFn)
+	var sq float64
+	for _, v := range s.sumsq {
+		sq += v
+	}
+	norm := math.Sqrt(sq)
+	s.scale = 1
+	if s.maxNorm > 0 && norm > s.maxNorm {
+		s.scale = s.maxNorm / (norm + 1e-12)
+	}
+
+	// Serial pre-pass: moment allocation mutates the optimizer's maps, so
+	// it cannot run inside the parallel apply. In steady state every dirty
+	// param already has moments and this is a worklist walk of map reads.
+	s.apply = s.apply[:0]
+	for _, i := range s.dirty {
+		p := s.params[i]
+		var rows []int32
+		if p.RowSparse && p.rowMark != nil {
+			rows = p.DirtyRows
+			if len(rows) == 0 {
+				// Dirty with no recorded rows: the gradient is exactly
+				// zero (row invariant), so there is nothing to step.
+				p.Dirty = false
+				continue
+			}
+		}
+		m := o.m[p]
+		if m == nil {
+			if rows == nil && allZero(p.Grad.Data) {
+				// Identical to Adam.Step's skip: moments stay unallocated
+				// and the update is exactly zero. The gradient is already
+				// all zero, so clearing the flag restores the Dirty
+				// invariant without a memclr.
+				p.Dirty = false
+				continue
+			}
+			m = o.alloc(p)
+		}
+		s.apply = append(s.apply, applyEntry{p: p, m: m, v: o.v[p], rows: rows})
+	}
+	tensor.ParallelFor(len(s.apply), s.workers, s.applyFn)
+	return norm
+}

@@ -26,12 +26,13 @@ func TestSteadyStateStepZeroMatrixAllocs(t *testing.T) {
 		arena.Drain()
 	}()
 	opt := nn.NewAdam(0.003)
+	spine := nn.NewSpine(master.Params(), opt, 10)
 	batch := stream.NextBatch(32)
 	// Alternate two assignments so the gate also covers the buffer-shape
 	// churn of switching candidates, not just a perfectly static subnet.
 	a1 := randomAssignment(ds, rng)
 	a2 := randomAssignment(ds, rng)
-	replicas := []*Supernet{replica}
+	replicaParams := [][]*nn.Param{replica.Params()}
 
 	// The α-before-W phase latch is one-way per batch, so the reused batch
 	// skips UseForArch/UseForWeights — they are bookkeeping, not compute,
@@ -39,10 +40,8 @@ func TestSteadyStateStepZeroMatrixAllocs(t *testing.T) {
 	step := func(a []int) {
 		_, dout := replica.Loss(a, batch)
 		replica.Backward(dout)
-		ReduceGrads(master, replicas)
-		nn.ClipGradNorm(master.Params(), 10)
-		opt.Step(master.Params())
-		nn.ZeroGrads(master.Params())
+		spine.Reduce(replicaParams)
+		spine.ClipStep()
 	}
 	// Warm: arena pools fill, Adam lazily allocates moments for every
 	// param both assignments touch.

@@ -150,6 +150,13 @@ func NewWithOptions(ds *space.DLRMSpace, rng *tensor.RNG, opts Options) *Superne
 				maxIn:  in,
 				maxOut: out,
 			}
+			// Every slot after the first is fed through the preceding
+			// slot's ReLU, and its dX goes straight back into that ReLU's
+			// mask — the backward pass can skip dead columns. Slot 0's dX
+			// has other consumers (raw features, the concat scatter).
+			if i > 0 {
+				slots[i].low.SetReLUInput(true)
+			}
 			in = out
 		}
 		return slots
@@ -273,31 +280,17 @@ func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
 
 // ReduceGrads sums the replicas' gradients into master's (averaging by
 // replica count), then clears the replicas' gradients. It is the
-// cross-shard gradient update of the parallel search step.
-//
-// Replica params whose Dirty flag is clear are skipped: their gradients
-// are exactly zero (no Backward touched them this step — e.g. an
-// embedding table whose vocabulary option the shard's candidate did not
-// select), so the AXPY would add zero and the Zero would clear zeros.
-// Most of a step's parameter bytes are untouched tables, making this the
-// dominant saving of the reduction.
+// cross-shard gradient update of the parallel search step, delegating to
+// the shared nn.ReduceParamGrads reference (Dirty-aware: untouched
+// embedding tables and depth-sweep slots — most of a step's parameter
+// bytes — are skipped). The search loop itself uses nn.Spine, the
+// parallel bit-identical equivalent, over the same param lists.
 func ReduceGrads(master *Supernet, replicas []*Supernet) {
-	if len(replicas) == 0 {
-		return
+	rp := make([][]*nn.Param, len(replicas))
+	for i, r := range replicas {
+		rp[i] = r.params
 	}
-	inv := 1 / float64(len(replicas))
-	for i, p := range master.params {
-		for _, r := range replicas {
-			rp := r.params[i]
-			if !rp.Dirty {
-				continue
-			}
-			tensor.AXPY(p.Grad, inv, rp.Grad)
-			p.Dirty = true
-			rp.Grad.Zero()
-			rp.Dirty = false
-		}
-	}
+	nn.ReduceParamGrads(master.params, rp, nil)
 }
 
 // Forward runs the sub-network selected by the assignment over the batch

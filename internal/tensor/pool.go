@@ -160,12 +160,14 @@ const (
 	opMatMul kernelOp = iota
 	opMatMulTransA
 	opMatMulTransB
+	opRange
 )
 
 type kernelTask struct {
 	op     kernelOp
 	a, b   *Matrix
 	out    *Matrix
+	fn     func(lo, hi int)
 	lo, hi int
 	wg     *sync.WaitGroup
 }
@@ -178,6 +180,8 @@ func runKernelRange(t kernelTask) {
 		transACols(t.a, t.b, t.out, t.lo, t.hi)
 	case opMatMulTransB:
 		transBRows(t.a, t.b, t.out, t.lo, t.hi)
+	case opRange:
+		t.fn(t.lo, t.hi)
 	}
 }
 
@@ -229,6 +233,59 @@ func (p *kernelPool) run(n int, op kernelOp, a, b, out *Matrix) {
 		select {
 		case p.tasks <- t:
 		default:
+			runKernelRange(t)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// ParallelFor shards [0,n) into contiguous chunks and runs fn(lo, hi)
+// for each on the shared kernel pool, blocking until every chunk has
+// finished. workers bounds the parallelism: <= 0 means the pool's worker
+// count, 1 runs fn(0, n) inline with no dispatch at all. fn must be safe
+// to invoke concurrently on disjoint ranges.
+//
+// Chunks are cut finer than the worker count (up to 4 chunks per worker)
+// so ranges with very uneven per-index cost — e.g. parameter lists mixing
+// embedding tables and biases — still balance. Callers on a hot path
+// should hoist fn into a reused closure: dispatch itself then performs no
+// allocations (tasks are fixed-shape values, WaitGroups are pooled).
+//
+// Determinism contract: ParallelFor provides no ordering between chunks.
+// Results are bit-deterministic iff fn's chunks touch disjoint state, so
+// that the outcome is independent of chunk boundaries and scheduling.
+func ParallelFor(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := sharedPool()
+	if workers <= 0 {
+		workers = p.workers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := 4 * workers
+	if chunks > n {
+		chunks = n
+	}
+	chunk := (n + chunks - 1) / chunks
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		t := kernelTask{op: opRange, fn: fn, lo: lo, hi: hi, wg: wg}
+		select {
+		case p.tasks <- t:
+		default:
+			// Pool saturated: run the chunk on the submitting goroutine so
+			// ParallelFor can never deadlock behind its own siblings.
 			runKernelRange(t)
 			wg.Done()
 		}

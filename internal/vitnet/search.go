@@ -56,6 +56,7 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 	ctrl := controller.New(s.VS.Space, cfg.Controller)
 	ctrl.Metrics = cfg.Metrics
 	opt := nn.NewAdam(cfg.WeightLR)
+	spine := nn.NewSpine(master.Params(), opt, 10)
 	sm := core.NewSearchMetrics(cfg.Metrics)
 
 	res := &Result{}
@@ -112,6 +113,29 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 		}
 	}()
 
+	// Stage-3 spine worker: cross-shard reduce + fused clip+Adam step,
+	// overlapped with the coordinator's stage-2 policy update (disjoint
+	// state; see core.Searcher.Search). Every replica participates every
+	// step — there is no fault seam here — so the param lists are built
+	// once.
+	replicaParams := make([][]*nn.Param, len(replicas))
+	for i, r := range replicas {
+		replicaParams[i] = r.Params()
+	}
+	spineWork := make(chan struct{}, 1)
+	spineDone := make(chan struct{}, 1)
+	var spineNorm float64
+	go func() {
+		for range spineWork {
+			weightsSpan := sm.WeightsTime.Start()
+			spine.Reduce(replicaParams)
+			spineNorm = spine.ClipStep()
+			weightsSpan.End()
+			spineDone <- struct{}{}
+		}
+	}()
+	defer close(spineWork)
+
 	for step := 0; step < cfg.WarmupSteps+cfg.Steps; step++ {
 		warmup := step < cfg.WarmupSteps
 		stepSpan := sm.StepTime.Start()
@@ -144,6 +168,9 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 			<-stepDone
 		}
 		fanoutSpan.End()
+
+		// Stage 3 starts on the spine worker before stage 2 runs here.
+		spineWork <- struct{}{}
 
 		if !warmup {
 			policySpan := sm.PolicyTime.Start()
@@ -182,12 +209,10 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 			}
 		}
 
-		weightsSpan := sm.WeightsTime.Start()
-		ReduceGrads(master, replicas)
-		nn.ClipGradNorm(master.Params(), 10)
-		opt.Step(master.Params())
-		nn.ZeroGrads(master.Params())
-		weightsSpan.End()
+		// Join stage 3: master weights, optimizer moments and the
+		// pre-clip gradient norm are settled after this receive.
+		<-spineDone
+		sm.GradNorm.Observe(spineNorm)
 		stepSpan.End()
 	}
 

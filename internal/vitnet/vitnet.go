@@ -183,31 +183,6 @@ func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
 	return r
 }
 
-// ReduceGrads averages the replicas' gradients into master's and clears
-// the replicas. Replica parameters whose Dirty flag is unset are skipped:
-// their gradients are exactly zero (either never touched, or zeroed by the
-// previous reduce), so the AXPY+Zero pass over them would be a no-op —
-// and under the depth sweep most per-layer slots are untouched on any
-// given step, which makes the skip the dominant saving.
-func ReduceGrads(master *Supernet, replicas []*Supernet) {
-	if len(replicas) == 0 {
-		return
-	}
-	inv := 1 / float64(len(replicas))
-	for i, p := range master.params {
-		for _, r := range replicas {
-			rp := r.params[i]
-			if !rp.Dirty {
-				continue
-			}
-			tensor.AXPY(p.Grad, inv, rp.Grad)
-			p.Dirty = true
-			rp.Grad.Zero()
-			rp.Dirty = false
-		}
-	}
-}
-
 // Forward runs the sub-network selected by the assignment over the batch
 // and returns logits (batch×1).
 func (s *Supernet) Forward(a space.Assignment, batch *datapipe.SeqBatch) *tensor.Matrix {
