@@ -13,9 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"h2onas"
 
@@ -23,9 +26,11 @@ import (
 	"h2onas/internal/core"
 	"h2onas/internal/datapipe"
 	"h2onas/internal/hwsim"
+	"h2onas/internal/measure"
 	"h2onas/internal/metrics"
 	"h2onas/internal/quality"
 	"h2onas/internal/reward"
+	"h2onas/internal/shardrpc"
 	"h2onas/internal/space"
 	"h2onas/internal/vitnet"
 )
@@ -48,6 +53,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 25, "snapshot every N search steps (with -checkpoint-dir)")
 	ckptRetain := flag.Int("checkpoint-retain", 3, "keep only the newest N snapshots (0 keeps all)")
 	resume := flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint-dir")
+	workers := flag.String("workers", "", "comma-separated shardworker addresses; runs the search over TCP with one remote worker per shard (dlrm; overrides -shards)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-call deadline for remote shard RPCs (with -workers; 0 uses the default)")
+	resultOut := flag.String("result-out", "", "write the search result as JSON to this file (dlrm)")
+	failShard := flag.String("fail-shard", "", "fail shards in-process for reproduction, as shard:step[,shard:step...] — shard s fails every step ≥ step (dlrm)")
 	flag.Parse()
 
 	// The registry instruments every layer of the run: the search loop,
@@ -82,9 +91,20 @@ func main() {
 		ckpt = checkpointing{}
 	}
 
+	dist := distributed{rpcTimeout: *rpcTimeout, resultOut: *resultOut, failShard: *failShard}
+	if *workers != "" {
+		dist.workers = strings.Split(*workers, ",")
+	}
+	if (len(dist.workers) > 0 || dist.resultOut != "" || dist.failShard != "") && *domain != "dlrm" {
+		fatalf("-workers, -result-out and -fail-shard are only wired into the dlrm domain")
+	}
+	if len(dist.workers) > 0 && dist.failShard != "" {
+		fatalf("-fail-shard reproduces a degraded run in-process; it cannot be combined with -workers")
+	}
+
 	switch *domain {
 	case "dlrm":
-		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, ckpt)
+		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, ckpt, dist)
 	case "cnn", "vit":
 		runVision(*domain, chip, kind, *latency, *steps, *shards, *seed, *verbose)
 	case "nlp":
@@ -172,9 +192,22 @@ type checkpointing struct {
 
 func (c checkpointing) enabled() bool { return c.dir != "" }
 
-func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
-	steps, shards, batch, warmup int, seed uint64, verbose bool, ckpt checkpointing) {
+// distributed carries the -workers/-rpc-timeout/-result-out/-fail-shard
+// flags into the search config.
+type distributed struct {
+	workers    []string
+	rpcTimeout time.Duration
+	resultOut  string
+	failShard  string
+}
 
+func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
+	steps, shards, batch, warmup int, seed uint64, verbose bool, ckpt checkpointing, dist distributed) {
+
+	if len(dist.workers) > 0 {
+		// One remote worker per shard: the fleet defines the shard count.
+		shards = len(dist.workers)
+	}
 	model := space.SmallDLRMConfig()
 	traffic := h2onas.TrafficConfig{
 		NumTables: model.NumTables,
@@ -187,6 +220,29 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
 		Seed:       seed,
 		Metrics:    searchMetrics,
+	}
+	if len(dist.workers) > 0 {
+		tr, err := shardrpc.Dial(dist.workers, shardrpc.Options{
+			Policy: measure.Policy{Timeout: dist.rpcTimeout},
+			Seed:   seed,
+		})
+		if err != nil {
+			fatalf("distributed search: %v", err)
+		}
+		defer tr.Close()
+		opts.Transport = tr
+	}
+	if dist.failShard != "" {
+		fails, err := parseFailShards(dist.failShard)
+		if err != nil {
+			fatalf("parsing -fail-shard: %v", err)
+		}
+		opts.ShardFault = func(step, shard, attempt int) error {
+			if from, ok := fails[shard]; ok && step >= from {
+				return fmt.Errorf("injected failure: shard %d down from step %d", shard, from)
+			}
+			return nil
+		}
 	}
 	if ckpt.enabled() {
 		opts.CheckpointDir = ckpt.dir
@@ -210,6 +266,49 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 	fmt.Printf("\nfinal architecture: %s\n", ds.Space.Describe(res.Best))
 	fmt.Printf("quality %.4f | train step %.0fµs | serving %.2fMB | examples consumed %d\n",
 		res.FinalQuality, res.BestPerf[0]*1e6, res.BestPerf[1]/1e6, res.ExamplesSeen)
+	if dist.resultOut != "" {
+		if err := writeResult(res, dist.resultOut); err != nil {
+			fatalf("writing result: %v", err)
+		}
+		fmt.Printf("result written to %s\n", dist.resultOut)
+	}
+}
+
+// parseFailShards parses "shard:step[,shard:step...]" into a map from
+// shard index to the first failing step.
+func parseFailShards(s string) (map[int]int, error) {
+	fails := make(map[int]int)
+	for _, part := range strings.Split(s, ",") {
+		var shard, from int
+		if _, err := fmt.Sscanf(part, "%d:%d", &shard, &from); err != nil {
+			return nil, fmt.Errorf("%q is not shard:step", part)
+		}
+		if shard < 0 || from < 0 {
+			return nil, fmt.Errorf("%q has a negative shard or step", part)
+		}
+		fails[shard] = from
+	}
+	return fails, nil
+}
+
+// writeResult persists the deterministic slice of the search result: the
+// trajectory and outcome, but not wall-clock-dependent counters
+// (ExamplesSeen varies with prefetch timing), so two runs that followed
+// the same trajectory serialize byte-identically.
+func writeResult(res *h2onas.SearchResult, path string) error {
+	out := struct {
+		Best           space.Assignment `json:"best"`
+		BestPerf       []float64        `json:"best_perf"`
+		FinalQuality   float64          `json:"final_quality"`
+		ResumedFrom    int64            `json:"resumed_from"`
+		ShardFirstDrop []int            `json:"shard_first_drop"`
+		History        []core.StepInfo  `json:"history"`
+	}{res.Best, res.BestPerf, res.FinalQuality, res.ResumedFrom, res.ShardFirstDrop, res.History}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runVision(domain string, chip h2onas.Chip, kind reward.Kind, latency float64,

@@ -16,21 +16,24 @@ import (
 // runs with the same fingerprint walk the same trajectory, so resuming
 // across a fingerprint mismatch would silently diverge and is refused.
 // Steps is deliberately excluded: resuming a finished run with a larger
-// Steps budget extends it deterministically.
-func fingerprintFor(cfg *Config, s *Searcher) string {
+// Steps budget extends it deterministically. The transport membership is
+// included (v2) because a resumed multi-node run is only bit-identical on
+// the same fleet: a changed worker set shifts which shards drop when, so
+// resume refuses it rather than diverging silently.
+func fingerprintFor(cfg *Config, s *Searcher, membership string) string {
 	h := fnv.New64a()
 	for _, d := range s.DS.Space.Decisions {
 		fmt.Fprintf(h, "%s:%d|", d.Name, d.Arity())
 	}
-	return fmt.Sprintf("core.Search/v1 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t",
+	return fmt.Sprintf("core.Search/v2 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t transport=%s",
 		s.DS.Space.Name, len(s.DS.Space.Decisions), h.Sum64(),
-		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich)
+		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich, membership)
 }
 
 // snapshot captures the complete search state after nextStep-1 completed
 // steps. Everything a step's outcome depends on is included, so a
 // restored run is bit-identical to the uninterrupted one.
-func (s *Searcher) snapshot(cfg *Config, nextStep int, batchesConsumed int64,
+func (s *Searcher) snapshot(cfg *Config, membership string, nextStep int, batchesConsumed int64,
 	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
 	opt *nn.Adam, hist []StepInfo) *checkpoint.Snapshot {
 
@@ -53,7 +56,7 @@ func (s *Searcher) snapshot(cfg *Config, nextStep int, batchesConsumed int64,
 	return &checkpoint.Snapshot{
 		Step:            int64(nextStep),
 		BatchesConsumed: batchesConsumed,
-		Fingerprint:     fingerprintFor(cfg, s),
+		Fingerprint:     fingerprintFor(cfg, s, membership),
 		RNG:             rng.State(),
 		PolicyLogits:    logits,
 		Baseline:        cs.Baseline,
@@ -73,14 +76,14 @@ func (s *Searcher) snapshot(cfg *Config, nextStep int, batchesConsumed int64,
 // mutating the live state — while encoding and the file write happen off
 // the step loop. A failed write is logged and counted by the persister
 // but never kills the search.
-func (s *Searcher) maybeCheckpoint(cfg *Config, ck *asyncCheckpointer,
+func (s *Searcher) maybeCheckpoint(cfg *Config, membership string, ck *asyncCheckpointer,
 	step int, batchesConsumed int64, rng *tensor.RNG, ctrl *controller.Controller,
 	master *supernet.Supernet, opt *nn.Adam, hist []StepInfo) {
 
 	if ck == nil || cfg.CheckpointEvery <= 0 || (step+1)%cfg.CheckpointEvery != 0 {
 		return
 	}
-	ck.enqueue(s.snapshot(cfg, step+1, batchesConsumed, rng, ctrl, master, opt, hist))
+	ck.enqueue(s.snapshot(cfg, membership, step+1, batchesConsumed, rng, ctrl, master, opt, hist))
 }
 
 // maybeRestore applies cfg.ResumeSnapshot (or, under cfg.Resume, the
@@ -88,7 +91,7 @@ func (s *Searcher) maybeCheckpoint(cfg *Config, ck *asyncCheckpointer,
 // constructed search state. It returns the step index to continue from
 // and the number of batches the checkpointed run had consumed; (0, 0)
 // means a fresh start.
-func (s *Searcher) maybeRestore(cfg *Config, mgr *checkpoint.Manager,
+func (s *Searcher) maybeRestore(cfg *Config, membership string, mgr *checkpoint.Manager,
 	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
 	opt *nn.Adam, res *Result) (startStep int, consumedBase int64, err error) {
 
@@ -113,7 +116,7 @@ func (s *Searcher) maybeRestore(cfg *Config, mgr *checkpoint.Manager,
 		return 0, 0, nil
 	}
 
-	if want := fingerprintFor(cfg, s); snap.Fingerprint != want {
+	if want := fingerprintFor(cfg, s, membership); snap.Fingerprint != want {
 		return 0, 0, fmt.Errorf("core: checkpoint fingerprint %q does not match this run (%q) — it was written by a different configuration", snap.Fingerprint, want)
 	}
 	if snap.Step < 0 || snap.Step > int64(cfg.WarmupSteps+cfg.Steps) {

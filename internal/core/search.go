@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"h2onas/internal/checkpoint"
@@ -121,6 +122,14 @@ type Config struct {
 	ShardBackoff time.Duration
 	// Clock injects time for retry backoff; nil uses the real clock.
 	Clock checkpoint.Clock
+
+	// Transport overrides where the per-shard forward/backward work
+	// executes. nil (the default) runs the historical in-process worker
+	// pool, driven by the ShardFault/ShardRetries/ShardBackoff knobs
+	// above. A non-nil transport (e.g. shardrpc's coordinator transport)
+	// is Bound by Search but closed by its owner; its own fault policy
+	// replaces the Shard* knobs.
+	Transport ShardTransport
 }
 
 // DefaultConfig returns search hyperparameters suitable for the small DLRM
@@ -178,6 +187,12 @@ type Result struct {
 	// ResumedFrom is the step index (warmup steps count) the run was
 	// restored at, or 0 for a fresh run.
 	ResumedFrom int64
+	// ShardFirstDrop records, per shard, the first step index (warmup
+	// steps count; same numbering ShardFault sees) at which that shard
+	// was dropped from the cross-shard reduce, or -1 if it completed
+	// every step. A degraded multi-node run can be reproduced in-process
+	// by failing the same shards from the same steps on.
+	ShardFirstDrop []int
 }
 
 // Searcher couples a DLRM search space with its reward, performance
@@ -214,6 +229,12 @@ func (s *Searcher) validate(cfg *Config) error {
 // retried with bounded exponential backoff and, if they keep failing,
 // dropped from that step's cross-shard reduce so the step degrades to
 // the surviving shards instead of killing the search.
+//
+// Shard execution goes through a ShardTransport (Config.Transport): by
+// default the in-process worker pool, or a fleet of remote workers over
+// TCP. Because sampling and batch draws stay on the coordinator and the
+// spine's reduce is fixed-order, the trajectory is bit-identical across
+// transports for the same seed and per-step surviving shard set.
 func (s *Searcher) Search(cfg Config) (*Result, error) {
 	if err := s.validate(&cfg); err != nil {
 		return nil, err
@@ -230,6 +251,22 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	spine := nn.NewSpine(master.Params(), opt, 10)
 	sm := NewSearchMetrics(cfg.Metrics)
 
+	// The transport seam: where the per-shard forward/backward executes.
+	// Search owns (and closes) the default in-process transport; a caller-
+	// provided one is only Bound here and closed by its owner.
+	transport := cfg.Transport
+	if transport == nil {
+		inproc := newInprocTransport(&cfg, sm)
+		transport = inproc
+		defer inproc.Close()
+	}
+	if err := transport.Bind(ShardBinding{Master: master, Replicas: replicas, Metrics: cfg.Metrics}); err != nil {
+		return nil, fmt.Errorf("core: binding shard transport: %w", err)
+	}
+	membership := transport.Membership()
+	wantSync := transport.WantsWeightSync()
+	spine.SetRecordTouched(wantSync)
+
 	var mgr *checkpoint.Manager
 	if cfg.CheckpointDir != "" {
 		mgr = &checkpoint.Manager{
@@ -241,11 +278,14 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{}
+	res := &Result{ShardFirstDrop: make([]int, cfg.Shards)}
+	for i := range res.ShardFirstDrop {
+		res.ShardFirstDrop[i] = -1
+	}
 	// Restore must precede pipeline construction: the producer starts
 	// prefetching from the stream immediately, so the stream has to be
 	// fast-forwarded to the checkpoint's consumed-batch frontier first.
-	startStep, consumedBase, err := s.maybeRestore(&cfg, mgr, rng, ctrl, master, opt, res)
+	startStep, consumedBase, err := s.maybeRestore(&cfg, membership, mgr, rng, ctrl, master, opt, res)
 	if err != nil {
 		return nil, err
 	}
@@ -289,78 +329,12 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	assignments := make([]space.Assignment, cfg.Shards)
 	qualities := make([]float64, cfg.Shards)
 	batches := make([]*datapipe.Batch, cfg.Shards)
+	outcomes := make([]ShardOutcome, cfg.Shards)
 	alive := make([]bool, cfg.Shards)
 	// liveParams collects the surviving replicas' param lists for the
 	// cross-shard reduce; preallocated once so the steady-state step stays
 	// allocation-flat on the coordinator too.
 	liveParams := make([][]*nn.Param, 0, cfg.Shards)
-
-	retries := cfg.ShardRetries
-	if retries == 0 {
-		retries = 2
-	}
-	backoff := cfg.ShardBackoff
-	if backoff <= 0 {
-		backoff = time.Millisecond
-	}
-	clk := cfg.Clock
-	if clk == nil {
-		clk = checkpoint.RealClock()
-	}
-
-	// Long-lived shard workers. Spawning cfg.Shards goroutines per step
-	// costs a stack setup and scheduler churn every step; instead each
-	// shard gets one worker for the whole run, fed step numbers over its
-	// own single-slot channel. The coordinator's send on work[i]
-	// happens-before the worker's read of that step's assignment/batch,
-	// and the worker's send on stepDone happens-before the coordinator's
-	// read of qualities/alive — the same memory-ordering guarantees the
-	// per-step WaitGroup used to provide.
-	work := make([]chan int, cfg.Shards)
-	stepDone := make(chan struct{}, cfg.Shards)
-	for i := range work {
-		work[i] = make(chan int, 1)
-		go func(i int) {
-			for step := range work[i] {
-				shardSpan := sm.ShardTime.Start()
-				for attempt := 0; ; attempt++ {
-					if cfg.ShardFault != nil {
-						if err := cfg.ShardFault(step, i, attempt); err != nil {
-							sm.ShardFailures.Inc()
-							if attempt >= retries {
-								// Permanent for this step: drop the shard
-								// from the cross-shard reduce.
-								sm.ShardsDropped.Inc()
-								break
-							}
-							sm.ShardRetries.Inc()
-							clk.Sleep(backoff << attempt)
-							continue
-						}
-					}
-					b := batches[i]
-					// Stage 1: fresh data is consumed by architecture
-					// learning first…
-					b.UseForArch()
-					loss, dout := replicas[i].Loss(assignments[i], b)
-					qualities[i] = 1 - loss/ln2
-					// Stage 3: …and only then by weight training, on the
-					// same batch and candidate.
-					b.UseForWeights()
-					replicas[i].Backward(dout)
-					alive[i] = true
-					break
-				}
-				shardSpan.End()
-				stepDone <- struct{}{}
-			}
-		}(i)
-	}
-	defer func() {
-		for _, w := range work {
-			close(w)
-		}
-	}()
 
 	// Stage-3 spine worker: the cross-shard gradient reduce and fused
 	// clip+Adam weight step run here, overlapped with the coordinator's
@@ -420,14 +394,19 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		sampleSpan.End()
 
 		fanoutSpan := sm.FanoutTime.Start()
-		for i := 0; i < cfg.Shards; i++ {
-			alive[i] = false
-			work[i] <- step
+		for i := range outcomes {
+			outcomes[i] = ShardOutcome{}
 		}
-		for n := 0; n < cfg.Shards; n++ {
-			<-stepDone
-		}
+		transport.RunStep(step, assignments, batches, outcomes)
 		fanoutSpan.End()
+		for i, out := range outcomes {
+			alive[i] = out.Alive
+			qualities[i] = out.Quality
+			if !out.Alive && res.ShardFirstDrop[i] < 0 {
+				res.ShardFirstDrop[i] = step
+				log.Printf("core: shard %d first dropped at step %d", i, step)
+			}
+		}
 
 		// Collect the shards that completed the step; dropped shards
 		// never ran Backward, so their replica gradients are still zero
@@ -444,7 +423,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			// Degrade by skipping the updates rather than killing the run.
 			sm.StepsSkipped.Inc()
 			stepSpan.End()
-			s.maybeCheckpoint(&cfg, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+			s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 			continue
 		}
 
@@ -492,6 +471,14 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		// moments and the pre-clip gradient norm are settled.
 		<-spineDone
 		sm.GradNorm.Observe(spineNorm)
+		if wantSync {
+			// Publish the step's weight change to remote shards. The spine
+			// recorded exactly which params (and rows) ClipStep touched, so
+			// the transport can ship a delta instead of the full state.
+			if err := transport.PushWeights(spine.Touched()); err != nil {
+				return nil, fmt.Errorf("core: publishing step %d weight update: %w", step, err)
+			}
+		}
 
 		if !warmup {
 			info := StepInfo{
@@ -509,7 +496,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 		stepSpan.End()
 
-		s.maybeCheckpoint(&cfg, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+		s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
 	}
 
 	res.Best = ctrl.Policy.MostProbable()
@@ -536,6 +523,11 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 }
 
 const ln2 = 0.6931471805599453
+
+// QualityFromLoss maps a per-shard BCE loss to the one-shot quality
+// signal Q = 1 − loss/ln 2. Exported so remote transports reproduce the
+// in-process computation bit-for-bit from the raw loss they collect.
+func QualityFromLoss(loss float64) float64 { return 1 - loss/ln2 }
 
 // MaxAssignment selects the largest option of every decision (widest,
 // deepest, fullest-rank candidate) — a direct argmax over each decision's

@@ -11,7 +11,6 @@ import (
 	"h2onas/internal/arch"
 	"h2onas/internal/hwsim"
 	"h2onas/internal/metrics"
-	"h2onas/internal/tensor"
 )
 
 // ErrNoDevices means every device in the pool is dead or breaker-open.
@@ -68,18 +67,23 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Timeout <= 0 {
-		c.Timeout = 2 * time.Second
-	}
-	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 4
-	}
-	if c.BackoffBase <= 0 {
-		c.BackoffBase = 10 * time.Millisecond
-	}
-	if c.BackoffMax <= 0 {
-		c.BackoffMax = time.Second
-	}
+	// The retry/timeout/breaker knobs default through the shared Policy
+	// machinery with the device-farm shape; other call sites (shard RPCs)
+	// bring their own defaults instead of inheriting these.
+	p := Policy{
+		Timeout:          c.Timeout,
+		MaxAttempts:      c.MaxAttempts,
+		BackoffBase:      c.BackoffBase,
+		BackoffMax:       c.BackoffMax,
+		BreakerThreshold: c.BreakerThreshold,
+		BreakerCooldown:  c.BreakerCooldown,
+	}.Defaulted(FarmDefaults())
+	c.Timeout = p.Timeout
+	c.MaxAttempts = p.MaxAttempts
+	c.BackoffBase = p.BackoffBase
+	c.BackoffMax = p.BackoffMax
+	c.BreakerThreshold = p.BreakerThreshold
+	c.BreakerCooldown = p.BreakerCooldown
 	if c.HedgeAfter <= 0 {
 		c.HedgeAfter = 250 * time.Millisecond
 	}
@@ -95,12 +99,6 @@ func (c Config) withDefaults() Config {
 	if c.MinReplicas <= 0 {
 		c.MinReplicas = 1
 	}
-	if c.BreakerThreshold <= 0 {
-		c.BreakerThreshold = 3
-	}
-	if c.BreakerCooldown <= 0 {
-		c.BreakerCooldown = 5 * time.Second
-	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -110,12 +108,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// deviceState wraps a Device with its breaker bookkeeping.
+// deviceState wraps a Device with its circuit breaker.
 type deviceState struct {
-	dev         Device
-	consecutive int
-	openUntil   time.Time
-	dead        bool
+	dev Device
+	br  *Breaker
 }
 
 type farmInstruments struct {
@@ -138,10 +134,11 @@ type Farm struct {
 	clock Clock
 	ins   farmInstruments
 
+	backoff *Backoff
+
 	mu      sync.Mutex
 	devices []*deviceState
-	next    int // round-robin cursor
-	rng     *tensor.RNG
+	next    int          // round-robin cursor
 	window  [128]float64 // recent successful dispatch latencies (s)
 	wpos    int
 	wlen    int
@@ -151,9 +148,9 @@ type Farm struct {
 func NewFarm(devices []Device, cfg Config) *Farm {
 	cfg = cfg.withDefaults()
 	f := &Farm{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		rng:   tensor.NewRNG(cfg.Seed),
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		backoff: NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
 		ins: farmInstruments{
 			measurements: cfg.Metrics.Counter("farm_measurements_total"),
 			failures:     cfg.Metrics.Counter("farm_measurement_failures_total"),
@@ -168,7 +165,10 @@ func NewFarm(devices []Device, cfg Config) *Farm {
 		},
 	}
 	for _, d := range devices {
-		f.devices = append(f.devices, &deviceState{dev: d})
+		f.devices = append(f.devices, &deviceState{
+			dev: d,
+			br:  NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		})
 	}
 	return f
 }
@@ -200,16 +200,11 @@ func (f *Farm) Measure(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed 
 // measureOnce is one replica: retry with jittered exponential backoff
 // around hedged dispatch.
 func (f *Farm) measureOnce(g *arch.Graph, chip hwsim.Chip, opts hwsim.Options, seed uint64) (hwsim.Result, error) {
-	backoff := f.cfg.BackoffBase
 	var lastErr error = ErrNoDevices
 	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			f.ins.retries.Inc()
-			f.clock.Sleep(f.jittered(backoff))
-			backoff *= 2
-			if backoff > f.cfg.BackoffMax {
-				backoff = f.cfg.BackoffMax
-			}
+			f.clock.Sleep(f.backoff.Delay(attempt - 1))
 		}
 		primary := f.pickDevice(nil)
 		if primary == nil {
@@ -280,26 +275,23 @@ func (f *Farm) dispatch(ds *deviceState, g *arch.Graph, chip hwsim.Chip, opts hw
 
 // observe updates breaker state and the latency window after a dispatch.
 func (f *Farm) observe(ds *deviceState, lat time.Duration, err error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if err == nil {
-		ds.consecutive = 0
+		ds.br.Success()
+		f.mu.Lock()
 		f.window[f.wpos] = lat.Seconds()
 		f.wpos = (f.wpos + 1) % len(f.window)
 		if f.wlen < len(f.window) {
 			f.wlen++
 		}
+		f.mu.Unlock()
 		return
 	}
-	ds.consecutive++
 	var derr *DeviceError
-	if errors.As(err, &derr) && derr.Permanent && !ds.dead {
-		ds.dead = true
+	opened, died := ds.br.Failure(errors.As(err, &derr) && derr.Permanent)
+	if died {
 		f.ins.deadDevices.Add(1)
-		return
 	}
-	if ds.consecutive >= f.cfg.BreakerThreshold {
-		ds.openUntil = f.clock.Now().Add(f.cfg.BreakerCooldown)
+	if opened {
 		f.ins.breakerOpens.Inc()
 	}
 }
@@ -311,11 +303,10 @@ func (f *Farm) observe(ds *deviceState, lat time.Duration, err error) {
 func (f *Farm) pickDevice(exclude *deviceState) *deviceState {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	now := f.clock.Now()
 	n := len(f.devices)
 	for i := 0; i < n; i++ {
 		ds := f.devices[(f.next+i)%n]
-		if ds == exclude || ds.dead || ds.openUntil.After(now) {
+		if ds == exclude || !ds.br.Allow() {
 			continue
 		}
 		f.next = (f.next + i + 1) % n
@@ -343,22 +334,13 @@ func (f *Farm) hedgeDelay() time.Duration {
 	return time.Duration(lat[idx] * float64(time.Second))
 }
 
-// jittered spreads a backoff over [d/2, d) so synchronized clients
-// desynchronize ("full jitter" halved to keep a floor).
-func (f *Farm) jittered(d time.Duration) time.Duration {
-	f.mu.Lock()
-	u := f.rng.Float64()
-	f.mu.Unlock()
-	return d/2 + time.Duration(u*float64(d/2))
-}
-
 // DeadDevices reports how many devices have failed permanently.
 func (f *Farm) DeadDevices() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := 0
 	for _, ds := range f.devices {
-		if ds.dead {
+		if ds.br.Dead() {
 			n++
 		}
 	}

@@ -91,6 +91,16 @@ type applyEntry struct {
 	rows []int32
 }
 
+// ParamTouch identifies one parameter the last ClipStep modified: its
+// index in the spine's param list and, for row-sparse params, the exact
+// rows stepped (nil means the whole tensor was stepped densely). It is
+// the unit of the weight-delta broadcast a distributed transport sends
+// to remote shard workers after each step.
+type ParamTouch struct {
+	Index int
+	Rows  []int32
+}
+
 // Spine is the coordinator's parallel cross-shard weight-update engine
 // for one search: gradient reduce, global-norm clipping and the Adam
 // update, parallelized across parameters on the shared kernel worker
@@ -143,6 +153,13 @@ type Spine struct {
 	reduceFn func(lo, hi int)
 	normFn   func(lo, hi int)
 	applyFn  func(lo, hi int)
+
+	// Touched-param recording for transports that broadcast weight
+	// deltas. Off by default: the in-process transport shares weight
+	// storage and never needs it, so the steady-state step pays nothing.
+	recordTouched bool
+	touched       []ParamTouch
+	touchRows     []int32 // backing store for the recorded row copies
 }
 
 // NewSpine builds the update engine for params, stepping with opt and
@@ -274,6 +291,8 @@ func (s *Spine) ClipStep() float64 {
 	// it cannot run inside the parallel apply. In steady state every dirty
 	// param already has moments and this is a worklist walk of map reads.
 	s.apply = s.apply[:0]
+	s.touched = s.touched[:0]
+	s.touchRows = s.touchRows[:0]
 	for _, i := range s.dirty {
 		p := s.params[i]
 		var rows []int32
@@ -299,7 +318,34 @@ func (s *Spine) ClipStep() float64 {
 			m = o.alloc(p)
 		}
 		s.apply = append(s.apply, applyEntry{p: p, m: m, v: o.v[p], rows: rows})
+		if s.recordTouched {
+			// Copy the row worklist: the apply pass ClearRows the param,
+			// and the next Backward reuses the backing array. Copies land
+			// in one shared buffer so steady-state steps reallocate only
+			// on growth. (Append-triggered growth copies the data, so
+			// earlier sub-slices remain valid — they are never mutated.)
+			var tr []int32
+			if rows != nil {
+				start := len(s.touchRows)
+				s.touchRows = append(s.touchRows, rows...)
+				tr = s.touchRows[start:len(s.touchRows):len(s.touchRows)]
+			}
+			s.touched = append(s.touched, ParamTouch{Index: i, Rows: tr})
+		}
 	}
 	tensor.ParallelFor(len(s.apply), s.workers, s.applyFn)
 	return norm
 }
+
+// SetRecordTouched toggles touched-param recording. When on, each
+// ClipStep records which params (and which rows, for row-sparse params)
+// it stepped, retrievable via Touched until the next ClipStep. Distributed
+// transports use the record to broadcast minimal weight deltas; the
+// default (off) costs the step loop nothing.
+func (s *Spine) SetRecordTouched(on bool) { s.recordTouched = on }
+
+// Touched returns the params modified by the last ClipStep, in param-index
+// order. The slice (and the row slices inside it) is owned by the spine
+// and valid until the next ClipStep. Empty unless SetRecordTouched(true)
+// was called before the step.
+func (s *Spine) Touched() []ParamTouch { return s.touched }

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+// TestSpineTouchedRecordingSupportsDeltaSync drives the touched-param
+// recorder through multi-step updates and proves the property remote
+// weight sync rests on: replaying only the recorded params/rows from the
+// updated master onto a stale copy reconstructs the master's weights bit
+// for bit. Anything ClipStep changes but fails to record would surface as
+// a mismatch.
+func TestSpineTouchedRecordingSupportsDeltaSync(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	master := spineParams(30, rng)
+	resetGrads(master)
+
+	// stale mirrors the master's values as a remote worker would: kept
+	// current purely by replaying recorded deltas.
+	stale := make([][]float64, len(master))
+	for i, p := range master {
+		stale[i] = append([]float64(nil), p.Value.Data...)
+	}
+
+	spine := NewSpine(master, NewAdam(0.003), 10)
+	spine.SetRecordTouched(true)
+	for step := 0; step < 4; step++ {
+		replicas := make([][]*Param, 3)
+		for i := range replicas {
+			replicas[i] = cloneParams(master)
+			resetGrads(replicas[i])
+			smearGrads(replicas[i], rng, 0.6, 1)
+		}
+		spine.Reduce(replicas)
+		spine.ClipStep()
+
+		touched := spine.Touched()
+		last := -1
+		for _, tc := range touched {
+			if tc.Index <= last {
+				t.Fatalf("step %d: touched indices not strictly increasing: %d after %d", step, tc.Index, last)
+			}
+			last = tc.Index
+			p := master[tc.Index]
+			if !p.RowSparse && tc.Rows != nil {
+				t.Fatalf("step %d: dense param %d recorded with a row list", step, tc.Index)
+			}
+			if tc.Rows == nil {
+				copy(stale[tc.Index], p.Value.Data)
+				continue
+			}
+			cols := p.Value.Cols
+			for _, r := range tc.Rows {
+				copy(stale[tc.Index][int(r)*cols:(int(r)+1)*cols], p.Value.Data[int(r)*cols:(int(r)+1)*cols])
+			}
+		}
+
+		for i, p := range master {
+			for j := range p.Value.Data {
+				if stale[i][j] != p.Value.Data[j] {
+					t.Fatalf("step %d: param %d value[%d] = %v after delta replay, master has %v — update not recorded",
+						step, i, j, stale[i][j], p.Value.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSpineTouchedRecordingOffByDefault: without SetRecordTouched the
+// spine must not pay for (or expose) touch recording.
+func TestSpineTouchedRecordingOffByDefault(t *testing.T) {
+	rng := tensor.NewRNG(78)
+	master := spineParams(12, rng)
+	resetGrads(master)
+	spine := NewSpine(master, NewAdam(0.003), 10)
+	replicas := [][]*Param{cloneParams(master)}
+	resetGrads(replicas[0])
+	smearGrads(replicas[0], rng, 1, 1)
+	spine.Reduce(replicas)
+	spine.ClipStep()
+	if got := spine.Touched(); len(got) != 0 {
+		t.Fatalf("recording off but Touched returned %d entries", len(got))
+	}
+}
+
+// TestSpineTouchedResetsEachStep: the recorded list must describe only
+// the latest step, not accumulate history.
+func TestSpineTouchedResetsEachStep(t *testing.T) {
+	rng := tensor.NewRNG(79)
+	master := spineParams(9, rng)
+	resetGrads(master)
+	spine := NewSpine(master, NewAdam(0.003), 10)
+	spine.SetRecordTouched(true)
+
+	// Step 1: every param dirty.
+	replicas := [][]*Param{cloneParams(master)}
+	resetGrads(replicas[0])
+	smearGrads(replicas[0], rng, 1, 1)
+	// smearGrads is probabilistic per param; force-dirty the stragglers
+	// densely so step 1 records everything.
+	for _, p := range replicas[0] {
+		if !p.Dirty {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] = 0.5
+			}
+			if p.RowSparse {
+				for r := 0; r < p.Grad.Rows; r++ {
+					p.MarkRow(r)
+				}
+			}
+			p.Dirty = true
+		}
+	}
+	spine.Reduce(replicas)
+	spine.ClipStep()
+	if got := len(spine.Touched()); got != len(master) {
+		t.Fatalf("step 1 recorded %d params, want all %d", got, len(master))
+	}
+
+	// Step 2: nothing dirty — the list must come back empty.
+	clean := [][]*Param{cloneParams(master)}
+	resetGrads(clean[0])
+	spine.Reduce(clean)
+	spine.ClipStep()
+	if got := len(spine.Touched()); got != 0 {
+		t.Fatalf("step 2 recorded %d params after a no-op step", got)
+	}
+}

@@ -1,0 +1,384 @@
+package shardrpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/space"
+	"h2onas/internal/supernet"
+	"h2onas/internal/tensor"
+)
+
+// Worker executes shard steps on behalf of a remote coordinator: it
+// receives the model configuration in the handshake, builds a
+// structurally identical super-network replica, and then answers one
+// synchronous exec request at a time — apply the weight sync, run the
+// forward/backward on the wire-delivered batch, return the exact loss
+// and gradient bits. The computation is single-goroutine and consumes no
+// worker-local randomness, so its results are a pure function of the
+// request — the property the coordinator's bit-determinism rests on.
+//
+// A worker serves coordinator sessions sequentially or concurrently (one
+// super-network per connection) and drains gracefully: Drain lets the
+// in-flight request complete and its response flush before connections
+// close, so a politely stopped worker never corrupts a step.
+type Worker struct {
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewWorker returns an idle worker.
+func NewWorker() *Worker {
+	return &Worker{conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts coordinator connections on lis until Drain (or a listener
+// error). Each connection is one coordinator session.
+func (w *Worker) Serve(lis net.Listener) error {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		return errors.New("shardrpc: worker is draining")
+	}
+	w.lis = lis
+	w.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if w.isDraining() {
+				w.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		w.track(conn)
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.session(conn)
+		}()
+	}
+}
+
+// DialAndServe connects out to a listening coordinator and serves that
+// single session until the coordinator closes it or the worker drains.
+func (w *Worker) DialAndServe(coordinator string, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", coordinator, timeout)
+	if err != nil {
+		return fmt.Errorf("shardrpc: dialing coordinator %s: %w", coordinator, err)
+	}
+	w.track(conn)
+	w.wg.Add(1)
+	defer w.wg.Done()
+	w.session(conn)
+	return nil
+}
+
+// Drain stops accepting work: the listener closes, idle connections are
+// unblocked, and in-flight requests run to completion (their responses
+// are written before the connection closes). Safe to call more than once.
+func (w *Worker) Drain() {
+	w.mu.Lock()
+	if w.draining {
+		w.mu.Unlock()
+		return
+	}
+	w.draining = true
+	lis := w.lis
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	// A past read deadline unblocks sessions parked in readFrame without
+	// cutting a session that is mid-compute: its response write still
+	// proceeds, and the session exits at its next read.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+}
+
+// Wait blocks until every session has finished.
+func (w *Worker) Wait() { w.wg.Wait() }
+
+func (w *Worker) isDraining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+func (w *Worker) track(conn net.Conn) {
+	w.mu.Lock()
+	w.conns[conn] = struct{}{}
+	w.mu.Unlock()
+}
+
+func (w *Worker) untrack(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+}
+
+// session speaks one coordinator connection: handshake, then a
+// request/response loop until the peer disconnects or the worker drains.
+func (w *Worker) session(conn net.Conn) {
+	defer conn.Close()
+	defer w.untrack(conn)
+	s, err := w.handshake(conn)
+	if err != nil {
+		log.Printf("shardrpc: worker handshake with %s failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	log.Printf("shardrpc: worker serving shard %d for %s (%d params)", s.shard, conn.RemoteAddr(), len(s.params))
+	for {
+		typ, reqID, payload, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF && !w.isDraining() {
+				log.Printf("shardrpc: worker session with %s ended: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if typ != frameExec {
+			log.Printf("shardrpc: worker got unexpected frame type %d", typ)
+			return
+		}
+		resp, herr := s.handleExec(payload)
+		if herr != nil {
+			err = writeFrame(conn, frameError, reqID, encodeError(herr.Error()))
+		} else {
+			err = writeFrame(conn, frameExecResult, reqID, resp)
+		}
+		if err != nil {
+			return
+		}
+		if w.isDraining() {
+			return
+		}
+	}
+}
+
+// workerSession is the per-connection model state.
+type workerSession struct {
+	shard   uint32
+	ds      *space.DLRMSpace
+	net     *supernet.Supernet
+	arena   *tensor.Arena
+	params  []*nn.Param
+	version uint64 // weight version currently loaded; 0 = uninitialized
+}
+
+func (w *Worker) handshake(conn net.Conn) (*workerSession, error) {
+	typ, reqID, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameHello {
+		return nil, fmt.Errorf("expected hello frame, got type %d", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(h)
+	if err != nil {
+		werr := writeFrame(conn, frameError, reqID, encodeError(err.Error()))
+		if werr != nil {
+			return nil, werr
+		}
+		return nil, err
+	}
+	if err := writeFrame(conn, frameHelloAck, reqID, encodeHelloAck(&helloAck{NumParams: uint32(len(s.params))})); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newSession(h *hello) (s *workerSession, err error) {
+	// Space/super-network construction panics on malformed configs; a
+	// remote peer's bad handshake must become an error frame, not a dead
+	// worker.
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("building model from handshake: %v", r)
+		}
+	}()
+	ds := space.NewDLRMSpace(h.Space)
+	// Weights are owned by the coordinator and arrive via sync, so the
+	// replica is built weightless (ZeroRNG) like the coordinator's own
+	// ghost replicas — but unlike those, it does not share the master's
+	// storage, so the shape-only placeholders must be given real backing
+	// for the first full sync to land in.
+	net := supernet.NewWithOptions(ds, tensor.ZeroRNG(), h.Options)
+	for _, p := range net.Params() {
+		if len(p.Value.Data) == 0 {
+			p.Value = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	arena := tensor.NewArena()
+	net.SetArena(arena)
+	return &workerSession{
+		shard:  h.Shard,
+		ds:     ds,
+		net:    net,
+		arena:  arena,
+		params: net.Params(),
+	}, nil
+}
+
+// handleExec runs one shard step and returns the encoded exec result.
+func (s *workerSession) handleExec(payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("shard step panicked: %v", r)
+		}
+	}()
+	req, err := decodeExec(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.applyWeights(req); err != nil {
+		return nil, err
+	}
+	if err := s.ds.Space.Validate(req.Assignment); err != nil {
+		return nil, err
+	}
+	batch, err := s.buildBatch(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// The two phase marks mirror the in-process worker exactly: fresh
+	// data feeds architecture learning first, then weight training.
+	batch.UseForArch()
+	loss, dout := s.net.Loss(req.Assignment, batch)
+	batch.UseForWeights()
+	s.net.Backward(dout)
+
+	res := &execResult{Step: req.Step, Version: s.version, Loss: loss}
+	res.Grads = collectGrads(s.params)
+	resp = encodeExecResult(res)
+	// Encoding copied every gradient bit out; restore the clean-grad
+	// invariant for the next step.
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+	return resp, nil
+}
+
+// applyWeights brings the session's weights to the request's version.
+func (s *workerSession) applyWeights(req *execReq) error {
+	switch req.WeightsMode {
+	case weightsNone:
+		if s.version != req.ToVersion {
+			return fmt.Errorf("no weight sync but worker holds version %d, coordinator expects %d", s.version, req.ToVersion)
+		}
+		return nil
+	case weightsFull:
+		if err := s.net.LoadWeights(req.Full); err != nil {
+			return err
+		}
+		s.version = req.ToVersion
+		return nil
+	case weightsDelta:
+		if s.version != req.FromVersion {
+			return fmt.Errorf("delta applies on version %d, worker holds %d", req.FromVersion, s.version)
+		}
+		for _, pt := range req.Delta {
+			if pt.Param < 0 || pt.Param >= len(s.params) {
+				return fmt.Errorf("delta for param %d, model has %d", pt.Param, len(s.params))
+			}
+			v := s.params[pt.Param].Value
+			if pt.Rows == nil {
+				if len(pt.Values) != len(v.Data) {
+					return fmt.Errorf("dense delta for param %d has %d values, tensor has %d", pt.Param, len(pt.Values), len(v.Data))
+				}
+				copy(v.Data, pt.Values)
+				continue
+			}
+			cols := v.Cols
+			if len(pt.Values) != len(pt.Rows)*cols {
+				return fmt.Errorf("row delta for param %d has %d values for %d rows of %d cols", pt.Param, len(pt.Values), len(pt.Rows), cols)
+			}
+			for k, r := range pt.Rows {
+				if r < 0 || int(r) >= v.Rows {
+					return fmt.Errorf("row delta for param %d touches row %d of %d", pt.Param, r, v.Rows)
+				}
+				copy(v.Data[int(r)*cols:(int(r)+1)*cols], pt.Values[k*cols:(k+1)*cols])
+			}
+		}
+		s.version = req.ToVersion
+		return nil
+	default:
+		return fmt.Errorf("unknown weights mode %d", req.WeightsMode)
+	}
+}
+
+// buildBatch reconstructs the coordinator's batch bit-for-bit.
+func (s *workerSession) buildBatch(req *execReq) (*datapipe.Batch, error) {
+	n := req.NumExamples
+	cfg := s.ds.Config
+	if n <= 0 || req.NumDense != cfg.NumDense {
+		return nil, fmt.Errorf("batch shape %d×%d does not fit model with %d dense features", n, req.NumDense, cfg.NumDense)
+	}
+	if len(req.Dense) != n*cfg.NumDense || len(req.Labels) != n {
+		return nil, fmt.Errorf("batch payload sizes dense=%d labels=%d for %d examples", len(req.Dense), len(req.Labels), n)
+	}
+	if len(req.Sparse) != cfg.NumTables {
+		return nil, fmt.Errorf("batch has %d sparse tables, model has %d", len(req.Sparse), cfg.NumTables)
+	}
+	for t, table := range req.Sparse {
+		if len(table) != n {
+			return nil, fmt.Errorf("sparse table %d has %d examples, batch has %d", t, len(table), n)
+		}
+	}
+	dense := tensor.New(n, cfg.NumDense)
+	copy(dense.Data, req.Dense)
+	labels := tensor.New(n, 1)
+	copy(labels.Data, req.Labels)
+	return &datapipe.Batch{Dense: dense, Sparse: req.Sparse, Labels: labels}, nil
+}
+
+// collectGrads snapshots the replica's dirty gradients in param order.
+// Row-sparse params ship only their dirty rows, in first-write order —
+// the order the coordinator replays into its ghost replica so the
+// fixed-order spine reduce sees exactly the state an in-process shard
+// would have produced.
+func collectGrads(params []*nn.Param) []tensorPatch {
+	var out []tensorPatch
+	for i, p := range params {
+		if !p.Dirty {
+			continue
+		}
+		if p.RowSparse && len(p.DirtyRows) > 0 {
+			cols := p.Grad.Cols
+			rows := append([]int32(nil), p.DirtyRows...)
+			vals := make([]float64, len(rows)*cols)
+			for k, r := range rows {
+				copy(vals[k*cols:(k+1)*cols], p.Grad.Data[int(r)*cols:(int(r)+1)*cols])
+			}
+			out = append(out, tensorPatch{Param: i, Rows: rows, Values: vals})
+			continue
+		}
+		if p.RowSparse {
+			// Dirty with no recorded rows: the gradient is exactly zero by
+			// the row invariant — nothing to ship.
+			continue
+		}
+		out = append(out, tensorPatch{Param: i, Values: p.Grad.Data})
+	}
+	return out
+}

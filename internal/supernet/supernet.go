@@ -227,6 +227,11 @@ func (s *Supernet) SetArena(a *tensor.Arena) {
 // Params returns every shared parameter in a stable order.
 func (s *Supernet) Params() []*nn.Param { return s.params }
 
+// Options returns the sharing choices the super-network was built with,
+// so a remote transport can hand a worker everything it needs to build a
+// structurally identical replica.
+func (s *Supernet) Options() Options { return s.opts }
+
 // ConcatWidth returns the fixed concatenated-feature width.
 func (s *Supernet) ConcatWidth() int { return s.concatWidth }
 
