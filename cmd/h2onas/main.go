@@ -42,6 +42,7 @@ func main() {
 	batch := flag.Int("batch", 64, "per-shard batch size (dlrm)")
 	warmup := flag.Int("warmup", 40, "weight warmup steps (dlrm)")
 	rewardKind := flag.String("reward", "relu", "reward function: relu or absolute")
+	strategy := flag.String("strategy", "reinforce", "search strategy: reinforce, random, evolution, or halving (dlrm/nlp)")
 	latency := flag.Float64("latency", 1.0, "step-time target as a fraction of baseline")
 	chipName := flag.String("chip", "tpuv4", "target chip: tpuv4, tpuv4i, v100")
 	chipFile := flag.String("chip-file", "", "load a custom chip configuration (JSON, see hwsim.SaveChip) instead of -chip")
@@ -102,13 +103,17 @@ func main() {
 		fatalf("-fail-shard reproduces a degraded run in-process; it cannot be combined with -workers")
 	}
 
+	if *strategy != "reinforce" && *domain != "dlrm" && *domain != "nlp" {
+		fatalf("-strategy is only wired into the weight-sharing domains (dlrm, nlp); the %s domain runs the analytic REINFORCE search", *domain)
+	}
+
 	switch *domain {
 	case "dlrm":
-		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, ckpt, dist)
+		runDLRM(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, *strategy, ckpt, dist)
 	case "cnn", "vit":
 		runVision(*domain, chip, kind, *latency, *steps, *shards, *seed, *verbose)
 	case "nlp":
-		runNLP(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose)
+		runNLP(chip, kind, *latency, *steps, *shards, *batch, *warmup, *seed, *verbose, *strategy)
 	default:
 		fatalf("unknown domain %q (want dlrm, cnn, vit, or nlp)", *domain)
 	}
@@ -143,7 +148,7 @@ func writeMetricsSnapshot(reg *metrics.Registry, path string) error {
 // runNLP searches the pure transformer space with a live weight-sharing
 // super-network on synthetic sequence traffic.
 func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
-	steps, shards, batch, warmup int, seed uint64, verbose bool) {
+	steps, shards, batch, warmup int, seed uint64, verbose bool, strategy string) {
 
 	vs := space.NewTransformerSpace(space.SmallViTConfig())
 	perf := func(a space.Assignment) []float64 {
@@ -167,11 +172,16 @@ func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
 		Seed:       seed,
 		Metrics:    searchMetrics,
 	}
+	strat, err := buildStrategy(strategy, vs.Space, steps, shards)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg.Strategy = strat
 	if verbose {
 		cfg.Progress = progress
 	}
-	fmt.Printf("searching transformer space (log10 size %.1f) on %s, %d shards × %d steps\n",
-		vs.Space.Log10Size(), chip.Name, shards, steps)
+	fmt.Printf("searching transformer space (log10 size %.1f) on %s, %d shards × %d steps, %s strategy\n",
+		vs.Space.Log10Size(), chip.Name, shards, steps, strategy)
 	res, err := s.Search(cfg)
 	if err != nil {
 		fatalf("search failed: %v", err)
@@ -201,8 +211,35 @@ type distributed struct {
 	failShard  string
 }
 
+// buildStrategy maps a -strategy flag value to a core.Strategy for the
+// given space, or nil for the default REINFORCE controller. The halving
+// budget is the run's fault-free evaluation count: one per policy shard
+// (every shard except the sandwich shard) per real step.
+func buildStrategy(name string, sp *space.Space, steps, shards int) (core.Strategy, error) {
+	switch name {
+	case "reinforce":
+		return nil, nil
+	case "random":
+		return core.NewRandomSearch(sp), nil
+	case "evolution":
+		return core.NewEvolution(sp, core.EvolutionOpts{}), nil
+	case "halving":
+		policy := shards
+		if shards > 1 {
+			policy = shards - 1
+		}
+		sh, err := core.NewSuccessiveHalving(sp, core.HalvingOpts{Budget: steps * policy})
+		if err != nil {
+			return nil, fmt.Errorf("-strategy halving: %v", err)
+		}
+		return sh, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want reinforce, random, evolution, or halving)", name)
+	}
+}
+
 func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
-	steps, shards, batch, warmup int, seed uint64, verbose bool, ckpt checkpointing, dist distributed) {
+	steps, shards, batch, warmup int, seed uint64, verbose bool, strategy string, ckpt checkpointing, dist distributed) {
 
 	if len(dist.workers) > 0 {
 		// One remote worker per shard: the fleet defines the shard count.
@@ -221,6 +258,11 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 		Seed:       seed,
 		Metrics:    searchMetrics,
 	}
+	strat, err := buildStrategy(strategy, space.NewDLRMSpace(model).Space, steps, shards)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts.Strategy = strat
 	if len(dist.workers) > 0 {
 		tr, err := shardrpc.Dial(dist.workers, shardrpc.Options{
 			Policy: measure.Policy{Timeout: dist.rpcTimeout},
@@ -253,8 +295,8 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 	if verbose {
 		opts.Progress = progress
 	}
-	fmt.Printf("searching DLRM space (log10 size %.1f) on %s, %d shards × %d steps, %s reward, latency target %.2fx baseline\n",
-		space.NewDLRMSpace(model).Space.Log10Size(), chip.Name, shards, steps, kind, latency)
+	fmt.Printf("searching DLRM space (log10 size %.1f) on %s, %d shards × %d steps, %s strategy, %s reward, latency target %.2fx baseline\n",
+		space.NewDLRMSpace(model).Space.Log10Size(), chip.Name, shards, steps, strategy, kind, latency)
 	res, err := h2onas.SearchDLRM(model, traffic, chip, kind, latency, opts)
 	if err != nil {
 		fatalf("search failed: %v", err)

@@ -13,13 +13,15 @@ import (
 // Wire format (little-endian):
 //
 //	magic   [8]byte  "H2ONASCK"
-//	version uint32   format version (currently 1)
+//	version uint32   format version (currently 2)
 //	length  uint64   payload byte count
 //	crc32   uint32   IEEE CRC of the payload
 //	payload [length]byte
 //
 // The payload is a fixed field sequence (see encodePayload/decodePayload,
-// which must mirror each other exactly). The header checksum means a
+// which must mirror each other exactly). Version 2 appends the strategy
+// name and opaque strategy-state blob after the v1 fields; version 1
+// files decode with those fields empty. The header checksum means a
 // truncated write, a torn page, or a flipped bit is detected before any
 // state is trusted; the decoder additionally bounds every declared length
 // against the bytes actually present, so hostile or garbage input can
@@ -27,8 +29,9 @@ import (
 
 const (
 	magic = "H2ONASCK"
-	// Version is the current snapshot wire-format version.
-	Version = 1
+	// Version is the current snapshot wire-format version. Version 2
+	// added the Strategy/StrategyState fields.
+	Version = 2
 
 	headerLen = 8 + 4 + 8 + 4
 
@@ -109,7 +112,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[20:24]) {
 		return nil, ErrChecksum
 	}
-	return decodePayload(payload)
+	return decodePayload(payload, version)
 }
 
 // encodePayload serializes the snapshot fields. decodePayload reads the
@@ -137,10 +140,14 @@ func encodePayload(s *Snapshot) []byte {
 		e.f64(h.Entropy)
 		e.f64(h.Confidence)
 	}
+	// v2 fields follow the complete v1 sequence, so a v1 payload is a
+	// prefix of a v2 one and the decoder can branch on the file version.
+	e.str(s.Strategy)
+	e.bytes(s.StrategyState)
 	return e.buf
 }
 
-func decodePayload(payload []byte) (*Snapshot, error) {
+func decodePayload(payload []byte, version uint32) (*Snapshot, error) {
 	d := &payloadDecoder{buf: payload}
 	s := &Snapshot{}
 	s.Step = int64(d.u64())
@@ -173,6 +180,10 @@ func decodePayload(payload []byte) (*Snapshot, error) {
 			}
 		}
 	}
+	if version >= 2 {
+		s.Strategy = d.str()
+		s.StrategyState = d.bytes()
+	}
 	if d.err != nil {
 		return nil, fmt.Errorf("checkpoint: corrupt payload: %w", d.err)
 	}
@@ -199,6 +210,10 @@ func (e *payloadEncoder) boolean(v bool) {
 func (e *payloadEncoder) str(s string) {
 	e.u32(uint32(len(s)))
 	e.buf = append(e.buf, s...)
+}
+func (e *payloadEncoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
 }
 func (e *payloadEncoder) vec(v []float64) {
 	e.u32(uint32(len(v)))
@@ -278,6 +293,15 @@ func (d *payloadDecoder) str() string {
 	n := int(d.u32())
 	b := d.take(n)
 	return string(b)
+}
+
+func (d *payloadDecoder) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 func (d *payloadDecoder) vec() []float64 {

@@ -19,6 +19,8 @@ func sampleSnapshot() *Snapshot {
 		BatchesConsumed: 51,
 		Fingerprint:     "core.Search/v1 space=test/3/abc shards=3 batch=16",
 		RNG:             0xdeadbeefcafef00d,
+		Strategy:        "reinforce",
+		StrategyState:   []byte{0x02, 0x00, 0x00, 0x00, 0xff, 0x7f},
 		PolicyLogits:    [][]float64{{0.25, -1.5, 3}, {0, 0.125}},
 		Baseline:        0.375,
 		BaselineSet:     true,
@@ -32,6 +34,45 @@ func sampleSnapshot() *Snapshot {
 			{Step: 1, MeanReward: 0.5, MeanQ: 0.2, Entropy: 11, Confidence: 0.25},
 		},
 		CreatedAtUnix: 1754400000,
+	}
+}
+
+// encodeV1Bytes writes s in the legacy version-1 wire format: the v2
+// payload minus the trailing Strategy/StrategyState fields, under a
+// version-1 header. Used to pin backward compatibility.
+func encodeV1Bytes(s *Snapshot) []byte {
+	payload := encodePayload(s)
+	trim := 4 + len(s.Strategy) + 4 + len(s.StrategyState)
+	payload = payload[:len(payload)-trim]
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], 1)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	return append(hdr[:], payload...)
+}
+
+// TestDecodeLegacyV1 pins that version-1 snapshot files — written before
+// the strategy fields existed — still decode, with the legacy typed
+// controller fields intact and the v2 fields empty.
+func TestDecodeLegacyV1(t *testing.T) {
+	want := sampleSnapshot()
+	want.Strategy, want.StrategyState = "", nil
+	got, err := Decode(bytes.NewReader(encodeV1Bytes(want)))
+	if err != nil {
+		t.Fatalf("decoding a v1 snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("v1 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// A v1 snapshot re-encodes at the current version and stays stable.
+	re := EncodeBytes(got)
+	got2, err := Decode(bytes.NewReader(re))
+	if err != nil {
+		t.Fatalf("re-decoding an upgraded v1 snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, got2) {
+		t.Fatal("upgraded v1 snapshot did not round-trip")
 	}
 }
 

@@ -28,9 +28,12 @@ func TestGenerateSeedCorpus(t *testing.T) {
 	flipped[headerLen+3] ^= 0x40
 	future := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint32(future[8:12], Version+7)
+	legacy := sampleSnapshot()
+	legacy.Strategy, legacy.StrategyState = "", nil
 
 	seeds := map[string][]byte{
 		"seed-valid":      valid,
+		"seed-v1":         encodeV1Bytes(legacy),
 		"seed-truncated":  truncated,
 		"seed-bitflip":    flipped,
 		"seed-future-ver": future,

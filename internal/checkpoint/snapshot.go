@@ -2,16 +2,18 @@ package checkpoint
 
 // Snapshot is the complete state of a unified single-step search at a
 // step boundary. Restoring every field reproduces the uninterrupted run
-// bit-for-bit: the policy and its REINFORCE baseline, the shared
-// super-network weights and their Adam moments, the coordinator RNG
-// stream, the data-pipeline position (as a consumed-batch count, so a
-// fresh stream can be fast-forwarded past exactly the batches the
-// checkpointed run consumed), and the step counter.
+// bit-for-bit: the search strategy's serialized state (for REINFORCE,
+// the policy logits and baseline; for the baseline battery, populations
+// and incumbents), the shared super-network weights and their Adam
+// moments, the coordinator RNG stream, the data-pipeline position (as a
+// consumed-batch count, so a fresh stream can be fast-forwarded past
+// exactly the batches the checkpointed run consumed), and the step
+// counter.
 //
 // The Fingerprint ties a snapshot to the run configuration that produced
-// it (search space shape, shard count, batch size, warmup, seed): a
-// resume against a different configuration would silently diverge, so it
-// is refused instead.
+// it (search space shape, shard count, batch size, warmup, seed,
+// strategy): a resume against a different configuration would silently
+// diverge, so it is refused instead.
 type Snapshot struct {
 	// Step is the next step index to execute, counting warmup steps.
 	Step int64
@@ -24,9 +26,20 @@ type Snapshot struct {
 	// RNG is the coordinator RNG stream state.
 	RNG uint64
 
+	// Strategy names the search strategy that wrote the snapshot
+	// (wire v2+). Resume refuses a snapshot from a different strategy
+	// before attempting to decode StrategyState.
+	Strategy string
+	// StrategyState is the strategy's opaque serialized state (wire
+	// v2+); only the strategy that wrote it can interpret it.
+	StrategyState []byte
+
 	// PolicyLogits are the controller policy's logits per decision.
+	// Legacy (wire v1): superseded by StrategyState, kept so v1 files
+	// still decode.
 	PolicyLogits [][]float64
 	// Baseline/BaselineSet/CtrlSteps are the controller optimizer state.
+	// Legacy (wire v1): superseded by StrategyState.
 	Baseline    float64
 	BaselineSet bool
 	CtrlSteps   int64

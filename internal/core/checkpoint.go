@@ -6,7 +6,6 @@ import (
 	"log"
 
 	"h2onas/internal/checkpoint"
-	"h2onas/internal/controller"
 	"h2onas/internal/nn"
 	"h2onas/internal/supernet"
 	"h2onas/internal/tensor"
@@ -19,30 +18,31 @@ import (
 // Steps budget extends it deterministically. The transport membership is
 // included (v2) because a resumed multi-node run is only bit-identical on
 // the same fleet: a changed worker set shifts which shards drop when, so
-// resume refuses it rather than diverging silently.
-func fingerprintFor(cfg *Config, s *Searcher, membership string) string {
+// resume refuses it rather than diverging silently. The strategy
+// identity is included (v3) — strategies consume the coordinator RNG and
+// carry their own serialized state, so resuming a snapshot under a
+// different strategy (or the same strategy differently configured, which
+// changes its Name) is refused the same way.
+func fingerprintFor(cfg *Config, s *Searcher, strategy, membership string) string {
 	h := fnv.New64a()
 	for _, d := range s.DS.Space.Decisions {
 		fmt.Fprintf(h, "%s:%d|", d.Name, d.Arity())
 	}
-	return fmt.Sprintf("core.Search/v2 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t transport=%s",
+	return fmt.Sprintf("core.Search/v3 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t strategy=%s transport=%s",
 		s.DS.Space.Name, len(s.DS.Space.Decisions), h.Sum64(),
-		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich, membership)
+		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich, strategy, membership)
 }
 
 // snapshot captures the complete search state after nextStep-1 completed
 // steps. Everything a step's outcome depends on is included, so a
-// restored run is bit-identical to the uninterrupted one.
+// restored run is bit-identical to the uninterrupted one. The strategy
+// serializes itself into an opaque StrategyState blob, tagged with its
+// Name so resume can refuse a cross-strategy restore before decoding.
 func (s *Searcher) snapshot(cfg *Config, membership string, nextStep int, batchesConsumed int64,
-	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
+	rng *tensor.RNG, strat Strategy, master *supernet.Supernet,
 	opt *nn.Adam, hist []StepInfo) *checkpoint.Snapshot {
 
-	cs := ctrl.State()
 	ad := opt.State(master.Params())
-	logits := make([][]float64, len(ctrl.Policy.Logits))
-	for i, row := range ctrl.Policy.Logits {
-		logits[i] = append([]float64(nil), row...)
-	}
 	history := make([]checkpoint.StepRecord, len(hist))
 	for i, h := range hist {
 		history[i] = checkpoint.StepRecord{
@@ -56,12 +56,10 @@ func (s *Searcher) snapshot(cfg *Config, membership string, nextStep int, batche
 	return &checkpoint.Snapshot{
 		Step:            int64(nextStep),
 		BatchesConsumed: batchesConsumed,
-		Fingerprint:     fingerprintFor(cfg, s, membership),
+		Fingerprint:     fingerprintFor(cfg, s, strat.Name(), membership),
 		RNG:             rng.State(),
-		PolicyLogits:    logits,
-		Baseline:        cs.Baseline,
-		BaselineSet:     cs.BaselineSet,
-		CtrlSteps:       cs.Steps,
+		Strategy:        strat.Name(),
+		StrategyState:   strat.StateBytes(),
 		Weights:         master.WeightsState(),
 		AdamT:           ad.T,
 		AdamM:           ad.M,
@@ -77,13 +75,13 @@ func (s *Searcher) snapshot(cfg *Config, membership string, nextStep int, batche
 // the step loop. A failed write is logged and counted by the persister
 // but never kills the search.
 func (s *Searcher) maybeCheckpoint(cfg *Config, membership string, ck *asyncCheckpointer,
-	step int, batchesConsumed int64, rng *tensor.RNG, ctrl *controller.Controller,
+	step int, batchesConsumed int64, rng *tensor.RNG, strat Strategy,
 	master *supernet.Supernet, opt *nn.Adam, hist []StepInfo) {
 
 	if ck == nil || cfg.CheckpointEvery <= 0 || (step+1)%cfg.CheckpointEvery != 0 {
 		return
 	}
-	ck.enqueue(s.snapshot(cfg, membership, step+1, batchesConsumed, rng, ctrl, master, opt, hist))
+	ck.enqueue(s.snapshot(cfg, membership, step+1, batchesConsumed, rng, strat, master, opt, hist))
 }
 
 // maybeRestore applies cfg.ResumeSnapshot (or, under cfg.Resume, the
@@ -92,7 +90,7 @@ func (s *Searcher) maybeCheckpoint(cfg *Config, membership string, ck *asyncChec
 // and the number of batches the checkpointed run had consumed; (0, 0)
 // means a fresh start.
 func (s *Searcher) maybeRestore(cfg *Config, membership string, mgr *checkpoint.Manager,
-	rng *tensor.RNG, ctrl *controller.Controller, master *supernet.Supernet,
+	rng *tensor.RNG, strat Strategy, master *supernet.Supernet,
 	opt *nn.Adam, res *Result) (startStep int, consumedBase int64, err error) {
 
 	snap := cfg.ResumeSnapshot
@@ -116,7 +114,10 @@ func (s *Searcher) maybeRestore(cfg *Config, membership string, mgr *checkpoint.
 		return 0, 0, nil
 	}
 
-	if want := fingerprintFor(cfg, s, membership); snap.Fingerprint != want {
+	if snap.Strategy != strat.Name() {
+		return 0, 0, fmt.Errorf("core: checkpoint was written by strategy %q; this run uses %q — strategies carry incompatible state, pick the matching one or start fresh", snap.Strategy, strat.Name())
+	}
+	if want := fingerprintFor(cfg, s, strat.Name(), membership); snap.Fingerprint != want {
 		return 0, 0, fmt.Errorf("core: checkpoint fingerprint %q does not match this run (%q) — it was written by a different configuration", snap.Fingerprint, want)
 	}
 	if snap.Step < 0 || snap.Step > int64(cfg.WarmupSteps+cfg.Steps) {
@@ -125,29 +126,22 @@ func (s *Searcher) maybeRestore(cfg *Config, membership string, mgr *checkpoint.
 	if snap.BatchesConsumed < 0 {
 		return 0, 0, fmt.Errorf("core: checkpoint has negative consumed-batch count %d", snap.BatchesConsumed)
 	}
-	if len(snap.PolicyLogits) != len(ctrl.Policy.Logits) {
-		return 0, 0, fmt.Errorf("core: checkpoint has %d policy decisions, space has %d", len(snap.PolicyLogits), len(ctrl.Policy.Logits))
-	}
-	for i, row := range snap.PolicyLogits {
-		if len(row) != len(ctrl.Policy.Logits[i]) {
-			return 0, 0, fmt.Errorf("core: checkpoint decision %d has %d logits, space arity is %d", i, len(row), len(ctrl.Policy.Logits[i]))
-		}
-	}
 	if s.Stream.ExamplesServed() != 0 {
 		return 0, 0, fmt.Errorf("core: resume requires an unused traffic stream (it is fast-forwarded to the checkpoint's position)")
 	}
 
-	// All validation passed; apply.
+	// All validation passed; apply. The strategy validates its own blob
+	// (shape checks live with the state they guard), so restore it first —
+	// a rejected blob leaves the weights untouched too.
+	if err := strat.RestoreState(snap.StrategyState); err != nil {
+		return 0, 0, fmt.Errorf("core: restoring %s strategy state: %w", snap.Strategy, err)
+	}
 	if err := master.LoadWeights(snap.Weights); err != nil {
 		return 0, 0, fmt.Errorf("core: restoring super-network weights: %w", err)
 	}
 	if err := opt.LoadState(master.Params(), nn.AdamState{T: snap.AdamT, M: snap.AdamM, V: snap.AdamV}); err != nil {
 		return 0, 0, fmt.Errorf("core: restoring optimizer state: %w", err)
 	}
-	for i, row := range snap.PolicyLogits {
-		copy(ctrl.Policy.Logits[i], row)
-	}
-	ctrl.Restore(controller.State{Baseline: snap.Baseline, BaselineSet: snap.BaselineSet, Steps: snap.CtrlSteps})
 	rng.SetState(snap.RNG)
 	s.Stream.Skip(snap.BatchesConsumed, cfg.BatchSize)
 	res.History = make([]StepInfo, len(snap.History))

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// EvolutionOpts configures the regularized-evolution strategy.
+type EvolutionOpts struct {
+	// Population is the number of live individuals (default 32).
+	Population int
+	// Tournament is the selection sample size per child (default 8,
+	// clamped to Population).
+	Tournament int
+	// MutationRate is the per-decision mutation probability (default
+	// 1/#decisions — one mutation per child in expectation).
+	MutationRate float64
+}
+
+// withDefaults resolves zero fields against the space.
+func (o EvolutionOpts) withDefaults(sp *space.Space) EvolutionOpts {
+	if o.Population <= 0 {
+		o.Population = 32
+	}
+	if o.Tournament <= 0 {
+		o.Tournament = 8
+	}
+	if o.Tournament > o.Population {
+		o.Tournament = o.Population
+	}
+	if o.MutationRate <= 0 && len(sp.Decisions) > 0 {
+		o.MutationRate = 1 / float64(len(sp.Decisions))
+	}
+	return o
+}
+
+// scored is one evaluated individual.
+type scored struct {
+	a      space.Assignment
+	reward float64
+}
+
+// Evolution is regularized (aging) evolution [Real et al. 2019] behind
+// the Strategy interface: each child is the mutation of a tournament
+// winner, evaluated against the shared super-network, and the population
+// is a FIFO queue — the oldest individual retires on every admission,
+// so even a one-time champion must keep re-proving its genes. Until the
+// population fills, children are uniform random. The paper notes
+// evolution needs rewards comparable across steps; weight sharing bends
+// that (early rewards are scored by less-trained weights), which is
+// exactly the effect the baseline battery measures.
+type Evolution struct {
+	sp   *space.Space
+	opts EvolutionOpts
+
+	pop     []scored
+	best    space.Assignment
+	bestRw  float64
+	bestSet bool
+	evals   int64
+}
+
+// NewEvolution returns the regularized-evolution strategy over the space.
+func NewEvolution(sp *space.Space, opts EvolutionOpts) *Evolution {
+	return &Evolution{sp: sp, opts: opts.withDefaults(sp)}
+}
+
+// Name embeds the trajectory-affecting hyperparameters, so resuming
+// under a differently configured evolution is refused by the fingerprint.
+func (e *Evolution) Name() string {
+	return fmt.Sprintf("evolution/p%d/t%d/m%g", e.opts.Population, e.opts.Tournament, e.opts.MutationRate)
+}
+
+// Sample seeds the population with uniform random candidates, then
+// breeds: a Tournament-sized random sample of the population competes on
+// reward (ties keep the earlier draw), and the winner's mutation is the
+// child. Warmup steps sample uniformly without touching the population —
+// their evaluations never reach Update.
+func (e *Evolution) Sample(rng *tensor.RNG, warmup bool) space.Assignment {
+	if warmup || len(e.pop) < e.opts.Population {
+		return randomAssignment(e.sp, rng)
+	}
+	parent := e.pop[rng.Intn(len(e.pop))]
+	for s := 1; s < e.opts.Tournament; s++ {
+		other := e.pop[rng.Intn(len(e.pop))]
+		if other.reward > parent.reward {
+			parent = other
+		}
+	}
+	return mutate(e.sp, parent.a, e.opts.MutationRate, rng)
+}
+
+// Update admits the step's evaluated children in shard order, retiring
+// the oldest individual for each admission once the population is full.
+func (e *Evolution) Update(samples []space.Assignment, rewards []float64) {
+	for i, a := range samples {
+		e.evals++
+		c := scored{a: copyAssignment(a), reward: rewards[i]}
+		e.pop = append(e.pop, c)
+		if len(e.pop) > e.opts.Population {
+			e.pop = e.pop[1:]
+		}
+		if !e.bestSet || c.reward > e.bestRw {
+			e.best = copyAssignment(c.a)
+			e.bestRw = c.reward
+			e.bestSet = true
+		}
+	}
+}
+
+// Best returns the best-reward individual ever evaluated (regularized
+// evolution's standard report), not merely the best still alive.
+func (e *Evolution) Best() space.Assignment {
+	if e.bestSet {
+		return copyAssignment(e.best)
+	}
+	return make(space.Assignment, len(e.sp.Decisions))
+}
+
+// Population returns a copy of the live individuals, oldest first.
+func (e *Evolution) Population() []space.Assignment {
+	out := make([]space.Assignment, len(e.pop))
+	for i, c := range e.pop {
+		out[i] = copyAssignment(c.a)
+	}
+	return out
+}
+
+// Entropy and Confidence measure the live population's per-decision
+// concentration: entropy falls and confidence rises as a lineage takes
+// over — the evolutionary analogue of policy convergence.
+func (e *Evolution) Entropy() float64 {
+	h, _ := empiricalDiag(e.sp, e.Population())
+	return h
+}
+
+func (e *Evolution) Confidence() float64 {
+	_, c := empiricalDiag(e.sp, e.Population())
+	return c
+}
+
+func (e *Evolution) StateBytes() []byte {
+	var enc stateEnc
+	enc.u32(uint32(len(e.pop)))
+	for _, c := range e.pop {
+		enc.assignment(c.a)
+		enc.f64(c.reward)
+	}
+	enc.assignment(e.best)
+	enc.f64(e.bestRw)
+	enc.boolean(e.bestSet)
+	enc.u64(uint64(e.evals))
+	return enc.buf
+}
+
+func (e *Evolution) RestoreState(data []byte) error {
+	d := stateDec{buf: data}
+	n := int(d.u32())
+	if d.err == nil && n > d.remaining()/12 { // ≥ 4 (len) + 8 (reward) bytes each
+		d.fail("population count %d exceeds remaining payload", n)
+	}
+	var pop []scored
+	if d.err == nil {
+		pop = make([]scored, n)
+		for i := range pop {
+			pop[i] = scored{a: d.assignment(), reward: d.f64()}
+		}
+	}
+	best := d.assignment()
+	bestRw := d.f64()
+	bestSet := d.boolean()
+	evals := int64(d.u64())
+	if err := d.finish(); err != nil {
+		return fmt.Errorf("evolution state: %w", err)
+	}
+	if n > e.opts.Population {
+		return fmt.Errorf("evolution state population %d exceeds configured size %d", n, e.opts.Population)
+	}
+	for i, c := range pop {
+		if c.a == nil {
+			return fmt.Errorf("evolution state individual %d is nil", i)
+		}
+		if err := e.sp.Validate(c.a); err != nil {
+			return fmt.Errorf("evolution state individual %d: %w", i, err)
+		}
+	}
+	if err := validateAssignment(e.sp, best); err != nil {
+		return fmt.Errorf("evolution state incumbent: %w", err)
+	}
+	e.pop, e.best, e.bestRw, e.bestSet, e.evals = pop, best, bestRw, bestSet, evals
+	return nil
+}

@@ -55,8 +55,16 @@ type Config struct {
 	WarmupSteps int
 	// WeightLR is the Adam learning rate for shared weights.
 	WeightLR float64
-	// Controller configures the RL controller.
+	// Controller configures the RL controller (the default strategy).
 	Controller controller.Config
+	// Strategy overrides the sample/update rule of the search: nil (the
+	// default) runs the REINFORCE controller configured by Controller;
+	// NewRandomSearch, NewEvolution and NewSuccessiveHalving provide the
+	// baseline battery behind the same interface. A Strategy instance is
+	// stateful and belongs to a single Search call — construct a fresh
+	// one per run. Its identity is part of the checkpoint fingerprint,
+	// so resume refuses a snapshot written by a different strategy.
+	Strategy Strategy
 	// Seed drives all stochastic choices.
 	Seed uint64
 	// DisableSandwich turns off sandwich training (see Search). On by
@@ -166,8 +174,9 @@ type Candidate struct {
 
 // Result is the outcome of a search.
 type Result struct {
-	// Best is the final architecture: the most probable value of every
-	// decision in π.
+	// Best is the final architecture chosen by the strategy: the most
+	// probable value of every decision in π for REINFORCE, the
+	// best-reward candidate for the baseline strategies.
 	Best space.Assignment
 	// BestArch is Best decoded.
 	BestArch space.DLRMArch
@@ -245,8 +254,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	for i := range replicas {
 		replicas[i] = master.Replicate(rng.Split())
 	}
-	ctrl := controller.New(s.DS.Space, cfg.Controller)
-	ctrl.Metrics = cfg.Metrics
+	strat := StrategyFor(&cfg, s.DS.Space)
 	opt := nn.NewAdam(cfg.WeightLR)
 	spine := nn.NewSpine(master.Params(), opt, 10)
 	sm := NewSearchMetrics(cfg.Metrics)
@@ -285,7 +293,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	// Restore must precede pipeline construction: the producer starts
 	// prefetching from the stream immediately, so the stream has to be
 	// fast-forwarded to the checkpoint's consumed-batch frontier first.
-	startStep, consumedBase, err := s.maybeRestore(&cfg, membership, mgr, rng, ctrl, master, opt, res)
+	startStep, consumedBase, err := s.maybeRestore(&cfg, membership, mgr, rng, strat, master, opt, res)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +395,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				// candidates.
 				assignments[i] = maxA
 			} else {
-				assignments[i] = ctrl.Policy.Sample(rng)
+				assignments[i] = strat.Sample(rng, warmup)
 			}
 			batches[i] = pipe.Next()
 		}
@@ -423,7 +431,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			// Degrade by skipping the updates rather than killing the run.
 			sm.StepsSkipped.Inc()
 			stepSpan.End()
-			s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+			s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History)
 			continue
 		}
 
@@ -461,7 +469,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 					Reward:     rw,
 				})
 			}
-			ctrl.Update(policySamples, rewards)
+			strat.Update(policySamples, rewards)
 			sm.Candidates.Add(int64(len(policySamples)))
 			stepRewards = rewards
 			policySpan.End()
@@ -485,8 +493,8 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 				Step:       step - cfg.WarmupSteps,
 				MeanReward: meanOf(stepRewards),
 				MeanQ:      meanAlive(qualities, alive),
-				Entropy:    ctrl.Policy.Entropy(),
-				Confidence: ctrl.Policy.Confidence(),
+				Entropy:    strat.Entropy(),
+				Confidence: strat.Confidence(),
 			}
 			res.History = append(res.History, info)
 			sm.RecordStep(info)
@@ -496,10 +504,10 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 		stepSpan.End()
 
-		s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, ctrl, master, opt, res.History)
+		s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History)
 	}
 
-	res.Best = ctrl.Policy.MostProbable()
+	res.Best = strat.Best()
 	res.BestArch = s.DS.Decode(res.Best)
 	res.BestPerf = perfFn(res.Best)
 	res.Candidates = cands.Items()

