@@ -19,6 +19,14 @@
 // drains gracefully on SIGINT/SIGTERM: readiness flips false first, then
 // in-flight requests get -drain-timeout to finish before the process
 // exits 0.
+//
+// With -jobs-dir (HTTP mode only), serve additionally hosts the durable
+// job API (internal/jobs): POST /jobs submits a search, GET /jobs/{id}
+// polls it, DELETE cancels it, and artifacts are served once it is done.
+// Job state is journaled under the directory, so a crash or restart on
+// the same -jobs-dir resumes interrupted jobs from their newest
+// checkpoint; a graceful drain parks running jobs with a final snapshot
+// before the process exits.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"h2onas/internal/arch"
 	"h2onas/internal/httpserve"
 	"h2onas/internal/hwsim"
+	"h2onas/internal/jobs"
 	"h2onas/internal/metrics"
 	"h2onas/internal/models"
 	"h2onas/internal/space"
@@ -57,6 +66,11 @@ func main() {
 	maxQueue := flag.Int("max-queue", 128, "HTTP mode: max requests waiting for a slot before shedding (negative disables queueing)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "HTTP mode: per-request deadline, including queue wait")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "HTTP mode: graceful-shutdown drain deadline")
+	jobsDir := flag.String("jobs-dir", "", "HTTP mode: enable the durable job API, journaling state under this directory")
+	jobsWorkers := flag.Int("jobs-workers", 2, "job API: searches run concurrently")
+	jobsQuota := flag.Int("jobs-quota", 8, "job API: per-tenant cap on queued plus running jobs")
+	jobsMaxQueue := flag.Int("jobs-max-queue", 64, "job API: global cap on queued jobs")
+	jobsCkptEvery := flag.Int("jobs-checkpoint-every", 25, "job API: snapshot each running search every N steps")
 	flag.Parse()
 
 	if *p99 <= 0 {
@@ -71,6 +85,15 @@ func main() {
 	if *drainTimeout <= 0 {
 		usageError("-drain-timeout must be positive, got %v", *drainTimeout)
 	}
+	if *jobsDir != "" {
+		if *listen == "" {
+			usageError("-jobs-dir requires -listen (the job API is an HTTP surface)")
+		}
+		if *jobsWorkers <= 0 || *jobsQuota <= 0 || *jobsMaxQueue <= 0 || *jobsCkptEvery <= 0 {
+			usageError("job API limits must be positive (workers %d, quota %d, max-queue %d, checkpoint-every %d)",
+				*jobsWorkers, *jobsQuota, *jobsMaxQueue, *jobsCkptEvery)
+		}
+	}
 
 	reg := metrics.New()
 	hwsim.SetMetrics(reg)
@@ -81,14 +104,34 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv := newServer(*listen, reg, chip, httpserve.Config{
+		cfg := httpserve.Config{
 			MaxInFlight:    *maxInFlight,
 			MaxQueue:       *maxQueue,
 			RequestTimeout: *requestTimeout,
 			DrainTimeout:   *drainTimeout,
 			Metrics:        reg,
 			Logf:           log.Printf,
-		})
+		}
+		var svc *jobs.Service
+		if *jobsDir != "" {
+			var err error
+			svc, err = jobs.Open(*jobsDir, jobs.Options{
+				Workers:         *jobsWorkers,
+				TenantQuota:     *jobsQuota,
+				MaxQueue:        *jobsMaxQueue,
+				CheckpointEvery: *jobsCkptEvery,
+				Metrics:         reg,
+				Logf:            log.Printf,
+			})
+			if err != nil {
+				fatalf("job service: %v", err)
+			}
+			// The HTTP drain finishes first (in-flight requests answered),
+			// then the hook checkpoints and parks running jobs so a restart
+			// on the same -jobs-dir resumes them.
+			cfg.OnDrain = svc.Drain
+		}
+		srv := newServer(*listen, reg, chip, svc, cfg)
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		// A graceful shutdown (including http.ErrServerClosed from the
@@ -139,7 +182,8 @@ func main() {
 // newMux builds the service routes. Health endpoints are not here: the
 // hardened server registers /healthz and /readyz itself, outside
 // admission control, so probes keep answering while the server sheds.
-func newMux(reg *metrics.Registry, defaultChip hwsim.Chip) *http.ServeMux {
+// A non-nil jobs service mounts the job API alongside /simulate.
+func newMux(reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service) *http.ServeMux {
 	simLatency := reg.Histogram("http_simulate_seconds")
 
 	mux := http.NewServeMux()
@@ -196,12 +240,15 @@ func newMux(reg *metrics.Registry, defaultChip hwsim.Chip) *http.ServeMux {
 			modelName, chip.Name, batch, res.StepTime, res.Power, res.Energy,
 			float64(batch)/res.StepTime)
 	})
+	if svc != nil {
+		svc.Mount(mux)
+	}
 	return mux
 }
 
 // newServer wraps the service routes in the hardening stack.
-func newServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip, cfg httpserve.Config) *httpserve.Server {
-	return httpserve.New(addr, newMux(reg, defaultChip), cfg)
+func newServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service, cfg httpserve.Config) *httpserve.Server {
+	return httpserve.New(addr, newMux(reg, defaultChip, svc), cfg)
 }
 
 // builderFor resolves a model name to a batch-parametric graph builder.

@@ -8,9 +8,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"h2onas/internal/checkpoint"
 	"h2onas/internal/httpserve"
 	"h2onas/internal/hwsim"
+	"h2onas/internal/jobs"
 	"h2onas/internal/metrics"
 )
 
@@ -21,7 +24,7 @@ func testHandler(t *testing.T) (http.Handler, *metrics.Registry) {
 	if !ok {
 		t.Fatal("tpuv4i chip missing")
 	}
-	srv := newServer("127.0.0.1:0", reg, chip, httpserve.Config{Metrics: reg})
+	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg})
 	srv.Health().SetReady(true)
 	return srv.Handler(), reg
 }
@@ -162,7 +165,7 @@ func TestMetricsContentTypes(t *testing.T) {
 func TestHealthzVersusReadyzDuringDrain(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	srv := newServer("127.0.0.1:0", reg, chip, httpserve.Config{Metrics: reg})
+	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg})
 	h := srv.Handler()
 
 	// Before startup completes: alive but not ready.
@@ -195,7 +198,7 @@ func TestHealthzVersusReadyzDuringDrain(t *testing.T) {
 func TestLoadShedWhenSaturated(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	mux := newMux(reg, chip)
+	mux := newMux(reg, chip, nil)
 	entered := make(chan struct{}, 8)
 	release := make(chan struct{})
 	mux.HandleFunc("/block", func(w http.ResponseWriter, r *http.Request) {
@@ -240,10 +243,77 @@ func TestLoadShedWhenSaturated(t *testing.T) {
 	}
 }
 
+// TestJobsAPIThroughHardenedServer exercises the job API exactly as
+// -jobs-dir wires it: mounted in the service mux, behind admission
+// control, request IDs and panic recovery, sharing the process metrics
+// registry.
+func TestJobsAPIThroughHardenedServer(t *testing.T) {
+	reg := metrics.New()
+	chip, _ := hwsim.ChipByName("tpuv4i")
+	svc, err := jobs.Open("jobsroot", jobs.Options{
+		Workers: 1, FS: checkpoint.NewMemFS(), Metrics: reg, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	srv := newServer("127.0.0.1:0", reg, chip, svc, httpserve.Config{Metrics: reg, OnDrain: svc.Drain})
+	srv.Health().SetReady(true)
+	h := srv.Handler()
+
+	req := httptest.NewRequest("POST", "/jobs", strings.NewReader(`{"steps":3,"shards":2,"batch":8,"warmup":1,"seed":7}`))
+	req.Header.Set("X-Tenant", "alice")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit through stack = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("job response missing X-Request-ID (not behind the middleware stack?)")
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil || job.ID == "" {
+		t.Fatalf("submit body = %s (err %v)", rec.Body, err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec := get(h, "/jobs/"+job.ID, "X-Tenant", "alice")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll = %d: %s", rec.Code, rec.Body)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" {
+			break
+		}
+		if job.State == "failed" || job.State == "cancelled" {
+			t.Fatalf("job ended %s: %s", job.State, rec.Body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if rec := get(h, "/jobs/"+job.ID+"/artifacts/result.json", "X-Tenant", "alice"); rec.Code != http.StatusOK ||
+		!json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("artifact through stack = %d: %s", rec.Code, rec.Body)
+	}
+	// The jobs instruments land in the same exposition as the HTTP ones.
+	if rec := get(h, "/metrics"); !strings.Contains(rec.Body.String(), "jobs_done_total") {
+		t.Fatal("metrics exposition missing jobs_done_total")
+	}
+}
+
 func TestPanicRecoveryReturns500(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	mux := newMux(reg, chip)
+	mux := newMux(reg, chip, nil)
 	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {
 		panic("handler bug")
 	})

@@ -1,0 +1,77 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPruneAcrossJobDirsIsScoped is the multi-tenant retention
+// contract: many writers sharing one filesystem root, each scoped to its
+// own per-job subdirectory, can save and prune concurrently without ever
+// touching each other's snapshots. This is the invariant the jobs layer
+// relies on when it gives every job <root>/ckpt/<id> — a manager whose
+// Dir leaked across jobs would collide on snapshot names and prune
+// snapshots it does not own.
+func TestConcurrentPruneAcrossJobDirsIsScoped(t *testing.T) {
+	fs := NewMemFS()
+	const (
+		jobs   = 4
+		saves  = 12
+		retain = 3
+	)
+	dirs := make([]string, jobs)
+	mgrs := make([]*Manager, jobs)
+	for j := range mgrs {
+		dirs[j] = filepath.Join("root", "ckpt", string(rune('a'+j)))
+		mgrs[j] = &Manager{
+			Dir:    dirs[j],
+			FS:     fs,
+			Clock:  &fakeClock{now: time.Unix(1754400000, 0)},
+			Retain: retain,
+			Logf:   t.Logf,
+		}
+	}
+
+	var wg sync.WaitGroup
+	for j, m := range mgrs {
+		wg.Add(1)
+		go func(j int, m *Manager) {
+			defer wg.Done()
+			for i := 1; i <= saves; i++ {
+				// Distinct payload per job so cross-contamination would be
+				// visible in the loaded bytes, not just the file names.
+				s := &Snapshot{Step: int64(i), RNG: uint64(j)*1000 + uint64(i)}
+				if _, err := m.Save(s); err != nil {
+					t.Errorf("job %d save %d: %v", j, i, err)
+					return
+				}
+			}
+		}(j, m)
+	}
+	wg.Wait()
+
+	for j, m := range mgrs {
+		steps, err := m.List()
+		if err != nil {
+			t.Fatalf("job %d list: %v", j, err)
+		}
+		if len(steps) != retain {
+			t.Fatalf("job %d retained %v, want the newest %d", j, steps, retain)
+		}
+		for i, step := range steps {
+			if want := int64(saves - retain + 1 + i); step != want {
+				t.Fatalf("job %d retained steps %v, want %d..%d", j, steps, saves-retain+1, saves)
+			}
+		}
+		// The newest snapshot must be the one this job wrote, bit for bit.
+		snap, _, err := m.LoadLatest()
+		if err != nil {
+			t.Fatalf("job %d load: %v", j, err)
+		}
+		if want := uint64(j)*1000 + uint64(saves); snap.RNG != want {
+			t.Fatalf("job %d newest snapshot carries RNG %d, want %d — cross-job contamination", j, snap.RNG, want)
+		}
+	}
+}

@@ -24,6 +24,14 @@ var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
 // LoadLatest walks snapshots newest-first and skips (with a logged
 // warning) any that fail validation, so a corrupted newest snapshot
 // degrades to the previous one instead of killing the run.
+//
+// Dir must be exclusive to one logical writer: snapshot names encode only
+// the step, so two runs sharing a directory would overwrite each other's
+// files and Retain pruning would delete snapshots the other run still
+// needs. Multi-job deployments (internal/jobs) give every job its own
+// subdirectory under a shared root — managers scoped to sibling
+// directories save and prune concurrently without interference (see
+// TestConcurrentPruneAcrossJobDirsIsScoped).
 type Manager struct {
 	// Dir is the snapshot directory.
 	Dir string

@@ -43,6 +43,9 @@ type SearchMetrics struct {
 	ShardRetries  *metrics.Counter
 	ShardsDropped *metrics.Counter
 	StepsSkipped  *metrics.Counter
+	// StepsStopped counts cooperative stops via Config.Stop (one per
+	// stopped run; named for the step boundary the stop landed on).
+	StepsStopped *metrics.Counter
 
 	// Checkpoint/restore telemetry. Save latency, size and corruption
 	// counters live on the checkpoint manager under checkpoint_*; these
@@ -82,6 +85,7 @@ func NewSearchMetrics(r *metrics.Registry) SearchMetrics {
 		ShardRetries:  r.Counter("search_shard_retries_total"),
 		ShardsDropped: r.Counter("search_shards_dropped_total"),
 		StepsSkipped:  r.Counter("search_steps_skipped_total"),
+		StepsStopped:  r.Counter("search_stops_total"),
 
 		CheckpointFailures: r.Counter("search_checkpoint_failures_total"),
 		CheckpointsWritten: r.Counter("search_checkpoints_written_total"),

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -34,6 +35,12 @@ import (
 	"h2onas/internal/supernet"
 	"h2onas/internal/tensor"
 )
+
+// ErrStopped reports that a search ended early because Config.Stop was
+// signalled. The returned Result carries the partial history; when
+// checkpointing is configured, the final snapshot is durable before
+// Search returns, so the run can be resumed later without losing work.
+var ErrStopped = errors.New("core: search stopped by Config.Stop")
 
 // PerfFunc returns the performance-objective values of a candidate, in the
 // reward function's objective order (e.g. predicted train step time from
@@ -115,6 +122,14 @@ type Config struct {
 	// ResumeSnapshot restores this exact snapshot instead of scanning
 	// CheckpointDir (takes precedence over Resume).
 	ResumeSnapshot *checkpoint.Snapshot
+
+	// Stop, when non-nil, requests cooperative cancellation: the search
+	// checks it between steps and, once it is closed (or receives),
+	// flushes a final full-state snapshot (when CheckpointDir is set),
+	// then returns the partial Result with ErrStopped. A stopped run
+	// resumed from that snapshot reproduces the uninterrupted run's
+	// trajectory bit-for-bit — stopping is a pause, not a divergence.
+	Stop <-chan struct{}
 
 	// ShardFault, when non-nil, is consulted before each shard attempt
 	// (stage 1/3 of the step); a non-nil error simulates that shard
@@ -369,6 +384,20 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 
 	maxA := MaxAssignment(s.DS.Space)
 	for step := startStep; step < cfg.WarmupSteps+cfg.Steps; step++ {
+		select {
+		case <-cfg.Stop:
+			// Cooperative cancellation at a step boundary: every piece of
+			// state is settled (the previous step's spine join already
+			// happened), so the snapshot taken here resumes bit-identically.
+			// The deferred ckpt.Close drains the persister, making the
+			// snapshot durable before Search returns.
+			sm.StepsStopped.Inc()
+			if mgr != nil {
+				ckpt.enqueue(s.snapshot(&cfg, membership, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History))
+			}
+			return res, ErrStopped
+		default:
+		}
 		warmup := step < cfg.WarmupSteps
 		stepSpan := sm.StepTime.Start()
 		if warmup {

@@ -61,6 +61,14 @@ type Config struct {
 	// server gives up (default 15s).
 	DrainTimeout time.Duration
 
+	// OnDrain, if set, runs after the HTTP side of a drain completes —
+	// in-flight requests finished or the deadline passed — and before Run
+	// returns. It is the seam for subsystems behind the server (e.g. the
+	// job orchestrator) to checkpoint and park their own work; it also
+	// runs when the listener dies on its own, so background work is
+	// parked on every exit path.
+	OnDrain func()
+
 	// Metrics receives the stack's instruments (nil = no-op):
 	// http_requests_total, http_request_errors_total, http_panics_total,
 	// http_shed_total, http_inflight_requests, http_queue_depth,
@@ -224,6 +232,7 @@ func (s *Server) Run(ctx context.Context) error {
 	case err := <-serveErr:
 		// The listener died on its own (port stolen, fd exhaustion…).
 		s.health.SetReady(false)
+		s.runOnDrain()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
@@ -240,9 +249,22 @@ func (s *Server) Run(ctx context.Context) error {
 	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
 		err = serr
 	}
+	// The hook runs even when the HTTP drain timed out: parking
+	// background work matters most on messy exits.
+	s.runOnDrain()
 	if err != nil {
 		return fmt.Errorf("httpserve: drain: %w", err)
 	}
 	s.cfg.logf("httpserve: drained cleanly")
 	return nil
+}
+
+// runOnDrain invokes the caller's drain hook, if any.
+func (s *Server) runOnDrain() {
+	if s.cfg.OnDrain == nil {
+		return
+	}
+	s.cfg.logf("httpserve: running drain hook")
+	s.cfg.OnDrain()
+	s.cfg.logf("httpserve: drain hook done")
 }

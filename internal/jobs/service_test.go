@@ -1,0 +1,262 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"h2onas/internal/checkpoint"
+	"h2onas/internal/metrics"
+)
+
+// tinySpec is a job small enough to finish in well under a second.
+func tinySpec(seed uint64) Spec {
+	return Spec{Steps: 3, Shards: 2, Batch: 8, Warmup: 1, Seed: seed}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// pause/release flip the test-only dispatch gate.
+func (s *Service) pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+func (s *Service) release() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Service) dispatchOrder() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.dispatched...)
+}
+
+func TestJobRunsToDone(t *testing.T) {
+	s, err := Open("root", Options{Workers: 1, FS: checkpoint.NewMemFS(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec, err := s.Submit("alice", tinySpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job done", func() bool {
+		st, err := s.Status("alice", rec.ID)
+		return err == nil && st.State == StateDone
+	})
+	st, err := s.Status("alice", rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Attempts != 1 || st.Resumes != 0 || st.Error != "" {
+		t.Fatalf("done record = %+v", st.Record)
+	}
+	if len(st.Artifacts) != 2 {
+		t.Fatalf("artifacts = %v, want result.json and best.dot", st.Artifacts)
+	}
+	if len(st.Front) == 0 {
+		t.Fatalf("done record has no Pareto front")
+	}
+	f, err := s.Artifact("alice", rec.ID, "result.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestFairShareAlternatesAcrossTenants is the starvation contract: with a
+// lopsided backlog (one tenant far more jobs than the other), dispatch
+// strictly alternates while both tenants have work — the heavy tenant
+// queues behind itself, never ahead of its neighbour.
+func TestFairShareAlternatesAcrossTenants(t *testing.T) {
+	s, err := Open("root", Options{Workers: 1, TenantQuota: 8, FS: checkpoint.NewMemFS(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.pause()
+	var heavy, light []string
+	for i := 0; i < 4; i++ {
+		rec, err := s.Submit("heavy", tinySpec(uint64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavy = append(heavy, rec.ID)
+	}
+	for i := 0; i < 2; i++ {
+		rec, err := s.Submit("light", tinySpec(uint64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		light = append(light, rec.ID)
+	}
+	s.release()
+	waitFor(t, "all jobs done", func() bool {
+		for _, id := range append(append([]string(nil), heavy...), light...) {
+			st, err := s.Status("heavy", id)
+			if err != nil {
+				st, err = s.Status("light", id)
+			}
+			if err != nil || st.State != StateDone {
+				return false
+			}
+		}
+		return true
+	})
+	got := s.dispatchOrder()
+	want := []string{heavy[0], light[0], heavy[1], light[1], heavy[2], heavy[3]}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want strict alternation %v", got, want)
+		}
+	}
+}
+
+func TestTenantQuotaAndGlobalQueueBound(t *testing.T) {
+	s, err := Open("root", Options{Workers: 1, TenantQuota: 2, MaxQueue: 3, FS: checkpoint.NewMemFS(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.pause()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit("alice", tinySpec(uint64(1+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit("alice", tinySpec(9)); !errors.Is(err, ErrQuota) {
+		t.Fatalf("third alice submit returned %v, want ErrQuota", err)
+	}
+	// A different tenant is not affected by alice's quota…
+	if _, err := s.Submit("bob", tinySpec(3)); err != nil {
+		t.Fatal(err)
+	}
+	// …but the global bound now rejects everyone.
+	if _, err := s.Submit("carol", tinySpec(4)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("submit past MaxQueue returned %v, want ErrBusy", err)
+	}
+	s.release()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, err := Open("root", Options{Workers: 1, FS: checkpoint.NewMemFS(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit("Not A Tenant!", tinySpec(1)); err == nil {
+		t.Fatal("invalid tenant accepted")
+	}
+	bad := tinySpec(1)
+	bad.Strategy = "quantum"
+	if _, err := s.Submit("alice", bad); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	huge := tinySpec(1)
+	huge.Steps = MaxSteps + 1
+	if _, err := s.Submit("alice", huge); err == nil {
+		t.Fatal("over-cap steps accepted")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, err := Open("root", Options{Workers: 1, FS: checkpoint.NewMemFS(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.pause()
+	rec, err := s.Submit("alice", tinySpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Cancel("alice", rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled queued job is %s", st.State)
+	}
+	// Cross-tenant access must 404, not leak existence.
+	if _, err := s.Status("bob", rec.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("foreign Status returned %v, want ErrNotFound", err)
+	}
+	if _, err := s.Cancel("bob", rec.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("foreign Cancel returned %v, want ErrNotFound", err)
+	}
+	// Cancelling a terminal job is a no-op.
+	again, err := s.Cancel("alice", rec.ID)
+	if err != nil || again.State != StateCancelled {
+		t.Fatalf("re-cancel returned %+v, %v", again.Record, err)
+	}
+	s.release()
+}
+
+func TestCancelRunningJobFlushesSnapshot(t *testing.T) {
+	fs := checkpoint.NewMemFS()
+	s, err := Open("root", Options{Workers: 1, CheckpointEvery: 1000, FS: fs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	long := tinySpec(5)
+	long.Steps = 1500 // long enough that cancellation always lands mid-run
+	rec, err := s.Submit("alice", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running with progress", func() bool {
+		st, err := s.Status("alice", rec.ID)
+		return err == nil && st.Progress != nil && st.Progress.Step >= 1
+	})
+	st, err := s.Cancel("alice", rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || st.Progress == nil || !st.Progress.CancelRequested {
+		t.Fatalf("cancel of running job returned %+v", st)
+	}
+	waitFor(t, "job cancelled", func() bool {
+		st, err := s.Status("alice", rec.ID)
+		return err == nil && st.State == StateCancelled
+	})
+	// The stop seam flushed a final snapshot: the cancelled work is
+	// resumable, not lost.
+	mgr := &checkpoint.Manager{Dir: s.store.CheckpointDir(rec.ID), FS: fs}
+	steps, err := mgr.List()
+	if err != nil || len(steps) == 0 {
+		t.Fatalf("cancelled job left no snapshot (steps %v, err %v)", steps, err)
+	}
+}
+
+func TestDrainRefusesSubmissions(t *testing.T) {
+	reg := metrics.New()
+	s, err := Open("root", Options{Workers: 1, FS: checkpoint.NewMemFS(), Metrics: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if _, err := s.Submit("alice", tinySpec(1)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain returned %v, want ErrDraining", err)
+	}
+}

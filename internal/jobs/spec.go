@@ -1,0 +1,218 @@
+// Package jobs is the search-as-a-service layer: a durable job
+// orchestrator that accepts search specifications over HTTP, runs them on
+// a bounded worker pool with per-tenant fair-share scheduling and quotas,
+// and survives process death. Every state transition is journaled through
+// the internal/checkpoint FS seam with the same atomic-write, checksummed,
+// corrupt-record-skipping discipline as search snapshots, and running jobs
+// checkpoint through core.Search's full-state snapshot path into per-job
+// directories — so a SIGKILL mid-run costs at most the steps since the
+// last snapshot, and the restarted process replays the journal,
+// re-enqueues interrupted jobs, and resumes them bit-deterministically:
+// an interrupted job's result is byte-identical to an uninterrupted run's.
+package jobs
+
+import (
+	"fmt"
+
+	"h2onas/internal/controller"
+	"h2onas/internal/core"
+	"h2onas/internal/datapipe"
+	"h2onas/internal/hwsim"
+	"h2onas/internal/reward"
+	"h2onas/internal/space"
+)
+
+// Caps bound what one job may ask for: a job is a tenant-submitted unit of
+// work, so an absurd spec must be rejected at admission, not discovered as
+// a stuck worker.
+const (
+	MaxSteps  = 2000
+	MaxShards = 16
+	MaxBatch  = 256
+	MaxWarmup = 500
+)
+
+// Spec is the search specification a tenant submits. The zero value of
+// every field means "the default"; Normalize fills defaults and Validate
+// rejects anything outside the supported surface. A Spec is part of the
+// job's journaled record, so it must round-trip through JSON exactly.
+type Spec struct {
+	// Space selects the search space. Currently "dlrm-small": the
+	// quickly-searchable DLRM configuration with live weight sharing.
+	Space string `json:"space,omitempty"`
+	// Strategy is reinforce (default), random, evolution, or halving.
+	Strategy string `json:"strategy,omitempty"`
+	// Reward is relu (default) or absolute.
+	Reward string `json:"reward,omitempty"`
+	// Chip is the target accelerator: tpuv4 (default), tpuv4i, or v100.
+	Chip string `json:"chip,omitempty"`
+	// LatencyTarget is the step-time target as a fraction of the baseline
+	// architecture's (default 1.0).
+	LatencyTarget float64 `json:"latency_target,omitempty"`
+
+	// Steps, Shards, Batch and Warmup shape the run (defaults 60/4/32/8).
+	Steps  int `json:"steps,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
+	// Seed drives every stochastic choice; the same spec with the same
+	// seed always produces the same result bytes (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Normalize returns the spec with every zero field replaced by its
+// default. Submit normalizes before journaling, so the record always
+// shows the values the job actually ran with.
+func (sp Spec) Normalize() Spec {
+	if sp.Space == "" {
+		sp.Space = "dlrm-small"
+	}
+	if sp.Strategy == "" {
+		sp.Strategy = "reinforce"
+	}
+	if sp.Reward == "" {
+		sp.Reward = "relu"
+	}
+	if sp.Chip == "" {
+		sp.Chip = "tpuv4"
+	}
+	if sp.LatencyTarget == 0 {
+		sp.LatencyTarget = 1.0
+	}
+	if sp.Steps == 0 {
+		sp.Steps = 60
+	}
+	if sp.Shards == 0 {
+		sp.Shards = 4
+	}
+	if sp.Batch == 0 {
+		sp.Batch = 32
+	}
+	if sp.Warmup == 0 {
+		sp.Warmup = 8
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	return sp
+}
+
+// Validate checks a normalized spec against the supported surface and the
+// admission caps.
+func (sp Spec) Validate() error {
+	if sp.Space != "dlrm-small" {
+		return fmt.Errorf("jobs: unknown space %q (want dlrm-small)", sp.Space)
+	}
+	switch sp.Strategy {
+	case "reinforce", "random", "evolution", "halving":
+	default:
+		return fmt.Errorf("jobs: unknown strategy %q (want reinforce, random, evolution, or halving)", sp.Strategy)
+	}
+	switch sp.Reward {
+	case "relu", "absolute":
+	default:
+		return fmt.Errorf("jobs: unknown reward %q (want relu or absolute)", sp.Reward)
+	}
+	if _, ok := hwsim.ChipByName(sp.Chip); !ok {
+		return fmt.Errorf("jobs: unknown chip %q (want tpuv4, tpuv4i, or v100)", sp.Chip)
+	}
+	if sp.LatencyTarget <= 0 {
+		return fmt.Errorf("jobs: latency_target must be positive, got %g", sp.LatencyTarget)
+	}
+	if sp.Steps < 1 || sp.Steps > MaxSteps {
+		return fmt.Errorf("jobs: steps %d outside 1..%d", sp.Steps, MaxSteps)
+	}
+	if sp.Shards < 1 || sp.Shards > MaxShards {
+		return fmt.Errorf("jobs: shards %d outside 1..%d", sp.Shards, MaxShards)
+	}
+	if sp.Batch < 1 || sp.Batch > MaxBatch {
+		return fmt.Errorf("jobs: batch %d outside 1..%d", sp.Batch, MaxBatch)
+	}
+	if sp.Warmup < 0 || sp.Warmup > MaxWarmup {
+		return fmt.Errorf("jobs: warmup %d outside 0..%d", sp.Warmup, MaxWarmup)
+	}
+	return nil
+}
+
+// build constructs a fresh searcher and config for one run of the spec.
+// It is called once per (re)start of the job; because every stochastic
+// input is derived from the spec, a rebuilt searcher resumed from a
+// snapshot continues the original trajectory bit-for-bit (the same
+// property cmd/h2onas relies on for -resume).
+func (sp Spec) build() (*core.Searcher, *space.DLRMSpace, core.Config, error) {
+	chip, ok := hwsim.ChipByName(sp.Chip)
+	if !ok {
+		return nil, nil, core.Config{}, fmt.Errorf("jobs: unknown chip %q", sp.Chip)
+	}
+	kind := reward.ReLU
+	if sp.Reward == "absolute" {
+		kind = reward.Absolute
+	}
+
+	model := space.SmallDLRMConfig()
+	ds := space.NewDLRMSpace(model)
+	obj := &core.DLRMObjectives{DS: ds, Chip: chip}
+	base := obj.BaselinePerf()
+	rw, err := reward.New(kind,
+		reward.Objective{Name: "train_step_time", Target: base[0] * sp.LatencyTarget, Beta: -2},
+		reward.Objective{Name: "serving_memory", Target: base[1], Beta: -1},
+	)
+	if err != nil {
+		return nil, nil, core.Config{}, err
+	}
+
+	cfg := core.Config{
+		Shards:      sp.Shards,
+		Steps:       sp.Steps,
+		BatchSize:   sp.Batch,
+		WarmupSteps: sp.Warmup,
+		WeightLR:    0.003,
+		Controller:  controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
+		Seed:        sp.Seed,
+		// Long queues of jobs share one process: bound each result's
+		// candidate pool so memory stays flat across the fleet.
+		MaxCandidates: 512,
+	}
+	cfg.Strategy, err = buildStrategy(sp.Strategy, ds.Space, sp.Steps, sp.Shards)
+	if err != nil {
+		return nil, nil, core.Config{}, err
+	}
+
+	s := &core.Searcher{
+		DS:     ds,
+		Reward: rw,
+		Perf:   obj.Perf,
+		Stream: datapipe.NewStream(datapipe.CTRConfig{
+			NumTables: model.NumTables,
+			Vocab:     model.BaseVocab,
+			NumDense:  model.NumDense,
+		}, sp.Seed),
+	}
+	return s, ds, cfg, nil
+}
+
+// buildStrategy maps a strategy name to a fresh core.Strategy (nil for
+// the default REINFORCE controller). The halving budget is the run's
+// fault-free evaluation count: one per policy shard per step.
+func buildStrategy(name string, sp *space.Space, steps, shards int) (core.Strategy, error) {
+	switch name {
+	case "reinforce":
+		return nil, nil
+	case "random":
+		return core.NewRandomSearch(sp), nil
+	case "evolution":
+		return core.NewEvolution(sp, core.EvolutionOpts{}), nil
+	case "halving":
+		policy := shards
+		if shards > 1 {
+			policy = shards - 1
+		}
+		sh, err := core.NewSuccessiveHalving(sp, core.HalvingOpts{Budget: steps * policy})
+		if err != nil {
+			return nil, fmt.Errorf("jobs: halving strategy: %w", err)
+		}
+		return sh, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown strategy %q", name)
+	}
+}
