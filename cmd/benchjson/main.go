@@ -28,8 +28,13 @@ import (
 // Result is one parsed benchmark line. Metrics maps unit → value for
 // every "value unit" pair after the iteration count (ns/op, B/op,
 // allocs/op, and any testing.B ReportMetric extras).
+// Pkg is the `pkg:` header in effect when the line was parsed; it is
+// only emitted when the input concatenates several packages' outputs
+// (e.g. core search benches + tensor kernel benches piped together), so
+// single-package reports keep their historical shape.
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -80,9 +85,14 @@ func main() {
 }
 
 // parse reads `go test -bench` text and collects benchmark lines plus the
-// goos/goarch/pkg/cpu header stamps.
+// goos/goarch/pkg/cpu header stamps. Input may concatenate several
+// packages' outputs: each benchmark is tagged with the pkg header in
+// effect where it appeared, and the report-level Pkg stamp is kept only
+// when every benchmark came from the same package.
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
+	var curPkg string
+	multiPkg := false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -95,7 +105,12 @@ func parse(r io.Reader) (*Report, error) {
 			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
 		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			curPkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if rep.Pkg == "" {
+				rep.Pkg = curPkg
+			} else if rep.Pkg != curPkg {
+				multiPkg = true
+			}
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
@@ -112,7 +127,7 @@ func parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		res := Result{Name: fields[0], Pkg: curPkg, Iterations: iters, Metrics: map[string]float64{}}
 		ok := true
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -124,6 +139,15 @@ func parse(r io.Reader) (*Report, error) {
 		}
 		if ok {
 			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if multiPkg {
+		rep.Pkg = ""
+	} else {
+		// Single-package input: the report-level stamp carries the pkg,
+		// and per-result tags would only bloat the JSON.
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].Pkg = ""
 		}
 	}
 	return rep, sc.Err()
@@ -140,13 +164,20 @@ func compare(path string, cur *Report) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
+	// Key by pkg+name so multi-package reports cannot collide two
+	// same-named benchmarks; a bare-name fallback keeps old baselines
+	// (written before per-result pkg tags existed) comparable.
+	key := func(b Result) string { return b.Pkg + "\x00" + b.Name }
 	byName := make(map[string]Result, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		byName[b.Name] = b
+		byName[key(b)] = b
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: informational compare vs %s\n", path)
 	for _, b := range cur.Benchmarks {
-		old, ok := byName[b.Name]
+		old, ok := byName[key(b)]
+		if !ok && b.Pkg != "" {
+			old, ok = byName["\x00"+b.Name]
+		}
 		if !ok {
 			fmt.Fprintf(os.Stderr, "  %-28s (new benchmark, no baseline)\n", b.Name)
 			continue

@@ -35,6 +35,57 @@ func TestParse(t *testing.T) {
 	}
 }
 
+const multiPkgSample = `goos: linux
+goarch: amd64
+pkg: h2onas/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchStep 	      60	  33567787 ns/op	 2308235 B/op	    5688 allocs/op
+PASS
+ok  	h2onas/internal/core	2.128s
+goos: linux
+goarch: amd64
+pkg: h2onas/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAxpy/n160 	 3292785	        70.96 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	h2onas/internal/tensor	1.002s
+`
+
+// TestParseMultiPackage: concatenated outputs from two packages tag each
+// benchmark with its own pkg and drop the ambiguous report-level stamp.
+func TestParseMultiPackage(t *testing.T) {
+	rep, err := parse(strings.NewReader(multiPkgSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pkg != "" {
+		t.Fatalf("report-level pkg = %q, want empty for multi-package input", rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if got := rep.Benchmarks[0].Pkg; got != "h2onas/internal/core" {
+		t.Fatalf("first benchmark pkg = %q", got)
+	}
+	if got := rep.Benchmarks[1].Pkg; got != "h2onas/internal/tensor" {
+		t.Fatalf("second benchmark pkg = %q", got)
+	}
+}
+
+// TestParseSinglePackageOmitsResultPkg pins the historical JSON shape:
+// one-package reports carry the pkg at the report level only.
+func TestParseSinglePackageOmitsResultPkg(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Pkg != "" {
+			t.Fatalf("benchmark %s carries pkg %q in a single-package report", b.Name, b.Pkg)
+		}
+	}
+}
+
 func TestParseIgnoresMalformedLines(t *testing.T) {
 	rep, err := parse(strings.NewReader("BenchmarkBroken abc def\nBenchmarkOK 10 5 ns/op\n"))
 	if err != nil {

@@ -28,9 +28,16 @@ func fingerprintFor(cfg *Config, s *Searcher, strategy, membership string) strin
 	for _, d := range s.DS.Space.Decisions {
 		fmt.Fprintf(h, "%s:%d|", d.Name, d.Arity())
 	}
-	return fmt.Sprintf("core.Search/v3 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t strategy=%s transport=%s",
+	fp := fmt.Sprintf("core.Search/v3 space=%s/%d/%016x shards=%d batch=%d warmup=%d seed=%d sandwich=%t strategy=%s transport=%s",
 		s.DS.Space.Name, len(s.DS.Space.Decisions), h.Sum64(),
 		cfg.Shards, cfg.BatchSize, cfg.WarmupSteps, cfg.Seed, !cfg.DisableSandwich, strategy, membership)
+	// Appended only when enabled so every pre-existing fingerprint (and
+	// snapshot) stays valid; a float32-mode snapshot can only resume in
+	// float32 mode and vice versa.
+	if cfg.Float32Activations {
+		fp += " acts=f32"
+	}
+	return fp
 }
 
 // snapshot captures the complete search state after nextStep-1 completed

@@ -79,6 +79,18 @@ type Config struct {
 	// bias toward the thinnest candidates; the ablation bench measures
 	// its effect.
 	DisableSandwich bool
+	// Float32Activations stores replica forward activations (MLP
+	// outputs, low-rank hiddens, concat, pooled embeddings) as float32,
+	// halving their footprint and memory traffic. Arithmetic, master
+	// weights, gradients and optimizer state stay float64; logits stay
+	// float64. The mode is bit-deterministic but rounds each stored
+	// activation once, so it follows its own golden trajectory (the
+	// fingerprint records it — a checkpoint cannot silently resume in
+	// the other mode). Not yet supported with a remote Transport: the
+	// remote worker protocol has no activation-mode negotiation, so
+	// validate rejects the combination rather than let coordinator and
+	// workers silently disagree.
+	Float32Activations bool
 	// Progress, when non-nil, receives per-step telemetry.
 	Progress func(StepInfo)
 	// Metrics, when non-nil, receives counters, gauges and per-phase
@@ -239,6 +251,9 @@ func (s *Searcher) validate(cfg *Config) error {
 	if cfg.WeightLR <= 0 {
 		cfg.WeightLR = DefaultConfig().WeightLR
 	}
+	if cfg.Float32Activations && cfg.Transport != nil {
+		return fmt.Errorf("core: Float32Activations is not supported with a custom Transport (remote workers have no activation-mode negotiation)")
+	}
 	return nil
 }
 
@@ -265,9 +280,11 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	}
 	rng := tensor.NewRNG(cfg.Seed)
 	master := supernet.New(s.DS, rng.Split())
+	master.SetFloat32Activations(cfg.Float32Activations)
 	replicas := make([]*supernet.Supernet, cfg.Shards)
 	for i := range replicas {
 		replicas[i] = master.Replicate(rng.Split())
+		replicas[i].SetFloat32Activations(cfg.Float32Activations)
 	}
 	strat := StrategyFor(&cfg, s.DS.Space)
 	opt := nn.NewAdam(cfg.WeightLR)

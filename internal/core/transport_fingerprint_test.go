@@ -54,6 +54,22 @@ func TestResumeRefusesChangedFleet(t *testing.T) {
 	}
 }
 
+// TestFloat32RejectsCustomTransport: the float32 activation mode has no
+// remote negotiation, so pairing it with a custom Transport must fail at
+// validation instead of letting the coordinator and workers silently run
+// different numerics.
+func TestFloat32RejectsCustomTransport(t *testing.T) {
+	s, _ := testSearcher(t, reward.ReLU, 1.0, 34)
+	cfg := Config{Shards: 2, Steps: 2, BatchSize: 8, Seed: 34}
+	cfg.Float32Activations = true
+	cfg.Transport = &stubTransport{membership: "tcp[10.0.0.1:7070]"}
+	if _, err := s.Search(cfg); err == nil {
+		t.Fatal("Search accepted Float32Activations with a custom Transport")
+	} else if !strings.Contains(err.Error(), "Float32Activations") {
+		t.Fatalf("error %q does not name the rejected knob", err)
+	}
+}
+
 // TestResumeRefusesChangedShardCount: shard membership is part of the
 // fingerprint even in-process — the surviving-shard trajectory depends
 // on the shard count, so resuming a 3-shard checkpoint with 4 shards

@@ -142,7 +142,8 @@ type ActivationLayer struct {
 	// Release); nil falls back to heap allocation.
 	Arena *tensor.Arena
 
-	input *tensor.Matrix // cached for Backward
+	input   *tensor.Matrix   // cached for Backward
+	input32 *tensor.Matrix32 // cached for Backward32 (float32 activation mode)
 }
 
 // NewActivationLayer returns a layer applying act elementwise.

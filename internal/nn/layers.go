@@ -101,36 +101,6 @@ func (p *Param) ZeroGrad() {
 	p.Dirty = false
 }
 
-// fusedBackwardRow is the shared inner kernel of the masked/low-rank
-// backward passes: it accumulates gw[j] += g[j]·x and returns Σ g[j]·w[j],
-// 4-wide unrolled. The gradient accumulation order per element is
-// unchanged from the scalar loop; the returned dot uses four parallel
-// accumulators in a fixed (deterministic) order.
-func fusedBackwardRow(g, w, gw []float64, x float64) float64 {
-	n := len(g)
-	w = w[:n]
-	gw = gw[:n]
-	var s0, s1, s2, s3 float64
-	j := 0
-	for ; j+3 < n; j += 4 {
-		g0, g1, g2, g3 := g[j], g[j+1], g[j+2], g[j+3]
-		s0 += g0 * w[j]
-		gw[j] += g0 * x
-		s1 += g1 * w[j+1]
-		gw[j+1] += g1 * x
-		s2 += g2 * w[j+2]
-		gw[j+2] += g2 * x
-		s3 += g3 * w[j+3]
-		gw[j+3] += g3 * x
-	}
-	for ; j < n; j++ {
-		gv := g[j]
-		s0 += gv * w[j]
-		gw[j] += gv * x
-	}
-	return s0 + s1 + s2 + s3
-}
-
 // Layer is one differentiable stage. Forward caches what Backward needs;
 // Backward accumulates parameter gradients (into Params' Grad) and returns
 // the gradient with respect to the layer input.
@@ -195,6 +165,7 @@ type MaskedDense struct {
 
 	activeIn, activeOut int
 	input               *tensor.Matrix
+	input32             *tensor.Matrix32 // float32 activation mode (Forward32)
 }
 
 // NewMaskedDense returns a super-network dense layer sized for the largest
@@ -259,7 +230,7 @@ func (l *MaskedDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		xrow := x.Row(i)
 		dxrow := dx.Row(i)
 		for k := 0; k < l.activeIn; k++ {
-			dxrow[k] = fusedBackwardRow(grow, l.W.Value.Row(k), l.W.Grad.Row(k), xrow[k])
+			dxrow[k] = tensor.FusedAxpyDot(grow, l.W.Value.Row(k), l.W.Grad.Row(k), xrow[k])
 		}
 		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
 	}
@@ -287,6 +258,7 @@ type LowRankDense struct {
 
 	activeIn, activeOut, activeRank int
 	input, hidden                   *tensor.Matrix
+	input32, hidden32               *tensor.Matrix32 // float32 activation mode (Forward32)
 	reluInput                       bool
 }
 
@@ -400,16 +372,15 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	x, h := l.input, l.hidden
 	dh := l.Arena.GetNoZero(x.Rows, l.activeRank)
-	// Both passes below are fusedBackwardRow inlined by hand and blocked
-	// factor-row-outer, batch-row-inner: the old batch-outer order
-	// re-streamed both factor matrices (value and gradient) from memory
-	// once per example, which made the backward pass bandwidth-bound.
-	// With the factor row outermost, each value/gradient row pair stays
-	// cache-hot across the whole batch and is streamed exactly once. The
-	// arithmetic is element-for-element unchanged — every dot uses the
-	// same four-accumulator pattern, and each gradient element still
-	// accumulates its batch contributions in ascending example order — so
-	// results are bit-identical to the unblocked form.
+	// Both passes below are blocked factor-row-outer, batch-row-inner: the
+	// old batch-outer order re-streamed both factor matrices (value and
+	// gradient) from memory once per example, which made the backward pass
+	// bandwidth-bound. With the factor row outermost, each value/gradient
+	// row pair stays cache-hot across the whole batch and is streamed
+	// exactly once. The inner kernel is tensor.FusedAxpyDot (the fused
+	// dW-row update + dX dot), whose accumulation order is the fixed
+	// reference order — and which the h2ofast build vectorizes — so
+	// results are bit-identical to the unblocked form on every backend.
 	vv, vg := l.V.Value.Data, l.V.Grad.Data
 	gd, hd, dhd := grad.Data, h.Data, dh.Data
 	gcols, hcols, dhcols := grad.Cols, h.Cols, dh.Cols
@@ -424,25 +395,7 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		for i := 0; i < rows; i++ {
 			grow := gd[i*gcols : i*gcols+nOut]
 			hv := hd[i*hcols+k]
-			var s0, s1, s2, s3 float64
-			j := 0
-			for ; j+3 < nOut; j += 4 {
-				g0, g1, g2, g3 := grow[j], grow[j+1], grow[j+2], grow[j+3]
-				s0 += g0 * w[j]
-				gw[j] += g0 * hv
-				s1 += g1 * w[j+1]
-				gw[j+1] += g1 * hv
-				s2 += g2 * w[j+2]
-				gw[j+2] += g2 * hv
-				s3 += g3 * w[j+3]
-				gw[j+3] += g3 * hv
-			}
-			for ; j < nOut; j++ {
-				gv := grow[j]
-				s0 += gv * w[j]
-				gw[j] += gv * hv
-			}
-			dhd[i*dhcols+k] = s0 + s1 + s2 + s3
+			dhd[i*dhcols+k] = tensor.FusedAxpyDot(grow, w, gw, hv)
 		}
 	}
 	for i := 0; i < rows; i++ {
@@ -470,43 +423,17 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 				continue
 			}
 			dhrow := dhd[i*dhcols : i*dhcols+nRank]
-			var s0, s1, s2, s3 float64
-			j := 0
 			if xv == 0 {
 				// Inputs arrive through ReLU, so exact zeros are common.
 				// dU += dh·x adds exactly zero for this column; only the
 				// dot product for dx remains, and skipping the gradient
-				// row halves the traffic. Same accumulator pattern, so
+				// row halves the traffic. tensor.Dot uses the same
+				// accumulator pattern as the fused kernel's dot chain, so
 				// dx is bit-identical.
-				for ; j+3 < nRank; j += 4 {
-					s0 += dhrow[j] * w[j]
-					s1 += dhrow[j+1] * w[j+1]
-					s2 += dhrow[j+2] * w[j+2]
-					s3 += dhrow[j+3] * w[j+3]
-				}
-				for ; j < nRank; j++ {
-					s0 += dhrow[j] * w[j]
-				}
-				dxd[i*dxcols+k] = s0 + s1 + s2 + s3
+				dxd[i*dxcols+k] = tensor.Dot(dhrow, w)
 				continue
 			}
-			for ; j+3 < nRank; j += 4 {
-				g0, g1, g2, g3 := dhrow[j], dhrow[j+1], dhrow[j+2], dhrow[j+3]
-				s0 += g0 * w[j]
-				gw[j] += g0 * xv
-				s1 += g1 * w[j+1]
-				gw[j+1] += g1 * xv
-				s2 += g2 * w[j+2]
-				gw[j+2] += g2 * xv
-				s3 += g3 * w[j+3]
-				gw[j+3] += g3 * xv
-			}
-			for ; j < nRank; j++ {
-				gv := dhrow[j]
-				s0 += gv * w[j]
-				gw[j] += gv * xv
-			}
-			dxd[i*dxcols+k] = s0 + s1 + s2 + s3
+			dxd[i*dxcols+k] = tensor.FusedAxpyDot(dhrow, w, gw, xv)
 		}
 	}
 	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true

@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"fmt"
+
+	"h2onas/internal/tensor"
+)
+
+// Float32 activation mode: the *32 forward/backward variants below store
+// inter-layer activations as float32 (tensor.Matrix32), halving the
+// footprint and memory traffic of a replica's forward buffers. The
+// numeric discipline is "float64 math, float32 storage": every output
+// element is accumulated as the usual float64 chain over float64 weights
+// and rounds exactly once on store; each layer reads its f32 input by
+// widening elements on the fly (exact). Master weights, gradients and
+// optimizer state remain float64 throughout — Backward32 takes and
+// returns float64 gradient matrices and accumulates into the same float64
+// Param.Grad as the default path. The mode has its own golden
+// trajectories (the store-rounding changes bits deliberately); within the
+// mode, results are bit-deterministic.
+
+// Forward32 is Forward with float32 activation storage: x·W over the
+// active sub-matrix, read from a float32 input. The output stays float64
+// — MaskedDense is the logit layer and logits feed the loss directly.
+func (l *MaskedDense) Forward32(x *tensor.Matrix32) *tensor.Matrix {
+	if x.Cols != l.activeIn {
+		panic(fmt.Sprintf("nn: MaskedDense input width %d != active in %d", x.Cols, l.activeIn))
+	}
+	l.input32, l.input = x, nil
+	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		orow := out.Row(i)
+		copy(orow, l.B.Value.Data[:l.activeOut])
+		for k := 0; k < l.activeIn; k++ {
+			xv := float64(xrow[k])
+			if xv == 0 {
+				continue
+			}
+			tensor.Axpy(orow, xv, l.W.Value.Row(k))
+		}
+	}
+	return out
+}
+
+// Backward32 is Backward against a Forward32 pass: gradients are float64,
+// the cached input is read back from float32.
+func (l *MaskedDense) Backward32(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input32 == nil {
+		panic("nn: MaskedDense.Backward32 before Forward32")
+	}
+	if grad.Cols != l.activeOut {
+		panic(fmt.Sprintf("nn: MaskedDense grad width %d != active out %d", grad.Cols, l.activeOut))
+	}
+	x := l.input32
+	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
+	for i := 0; i < x.Rows; i++ {
+		grow := grad.Row(i)
+		xrow := x.Row(i)
+		dxrow := dx.Row(i)
+		for k := 0; k < l.activeIn; k++ {
+			dxrow[k] = tensor.FusedAxpyDot(grow, l.W.Value.Row(k), l.W.Grad.Row(k), float64(xrow[k]))
+		}
+		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
+	}
+	l.W.Dirty, l.B.Dirty = true, true
+	return dx
+}
+
+// Forward32 is Forward with float32 activation storage: both the hidden
+// (batch×rank) and output activations are stored float32, computed
+// batch-row-outer through a float64 scratch row so each element is a full
+// float64 accumulation chain rounded once. The second product reads the
+// *stored* (quantized) hidden values — storage semantics, matching what a
+// memory-saving replica would actually keep.
+func (l *LowRankDense) Forward32(x *tensor.Matrix32) *tensor.Matrix32 {
+	if x.Cols != l.activeIn {
+		panic(fmt.Sprintf("nn: LowRankDense input width %d != active in %d", x.Cols, l.activeIn))
+	}
+	l.input32, l.input = x, nil
+	nRank, nOut := l.activeRank, l.activeOut
+	rows := x.Rows
+	h := l.Arena.GetNoZero32(rows, nRank)
+	out := l.Arena.GetNoZero32(rows, nOut)
+	scratch := l.Arena.GetNoZero(1, max(nRank, nOut)).Row(0)
+	uv, ucols := l.U.Value.Data, l.U.Value.Cols
+	vv, vcols := l.V.Value.Data, l.V.Value.Cols
+	bias := l.B.Value.Data[:nOut]
+	for i := 0; i < rows; i++ {
+		xrow := x.Row(i)
+		hs := scratch[:nRank]
+		for j := range hs {
+			hs[j] = 0
+		}
+		for k := 0; k < l.activeIn; k++ {
+			xv := float64(xrow[k])
+			if xv == 0 {
+				continue
+			}
+			tensor.Axpy(hs, xv, uv[k*ucols:k*ucols+nRank])
+		}
+		hrow := h.Row(i)
+		tensor.Quantize(hrow, hs)
+		os := scratch[:nOut]
+		copy(os, bias)
+		for k := 0; k < nRank; k++ {
+			hv := float64(hrow[k])
+			if hv == 0 {
+				continue
+			}
+			tensor.Axpy(os, hv, vv[k*vcols:k*vcols+nOut])
+		}
+		tensor.Quantize(out.Row(i), os)
+	}
+	l.hidden32, l.hidden = h, nil
+	return out
+}
+
+// Backward32 is Backward against a Forward32 pass: the float64 gradient
+// flows exactly as in Backward (same factor-row-outer blocking, same
+// fused kernels, same row-sparse marking), with the cached input and
+// hidden activations widened from float32 element by element.
+func (l *LowRankDense) Backward32(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input32 == nil || l.hidden32 == nil {
+		panic("nn: LowRankDense.Backward32 before Forward32")
+	}
+	if grad.Cols != l.activeOut {
+		panic(fmt.Sprintf("nn: LowRankDense grad width %d != active out %d", grad.Cols, l.activeOut))
+	}
+	x, h := l.input32, l.hidden32
+	dh := l.Arena.GetNoZero(x.Rows, l.activeRank)
+	vv, vg := l.V.Value.Data, l.V.Grad.Data
+	gd, dhd := grad.Data, dh.Data
+	hd := h.Data
+	gcols, hcols, dhcols := grad.Cols, h.Cols, dh.Cols
+	vcols := l.V.Value.Cols
+	nOut := l.activeOut
+	rows := x.Rows
+	for k := 0; k < l.activeRank; k++ {
+		base := k * vcols
+		w := vv[base : base+nOut]
+		gw := vg[base : base+nOut]
+		l.V.MarkRow(k)
+		for i := 0; i < rows; i++ {
+			grow := gd[i*gcols : i*gcols+nOut]
+			hv := float64(hd[i*hcols+k])
+			dhd[i*dhcols+k] = tensor.FusedAxpyDot(grow, w, gw, hv)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		tensor.Axpy(l.B.Grad.Data[:nOut], 1, gd[i*gcols:i*gcols+nOut])
+	}
+	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
+	uv, ug := l.U.Value.Data, l.U.Grad.Data
+	xd, dxd := x.Data, dx.Data
+	xcols, dxcols := x.Cols, dx.Cols
+	ucols := l.U.Value.Cols
+	nRank := l.activeRank
+	reluIn := l.reluInput
+	for k := 0; k < l.activeIn; k++ {
+		base := k * ucols
+		w := uv[base : base+nRank]
+		gw := ug[base : base+nRank]
+		l.U.MarkRow(k)
+		for i := 0; i < rows; i++ {
+			xv := float64(xd[i*xcols+k])
+			if xv == 0 && reluIn {
+				// A float32 zero is exactly a float64 zero, so the
+				// SetReLUInput dead-column skip carries over unchanged.
+				dxd[i*dxcols+k] = 0
+				continue
+			}
+			dhrow := dhd[i*dhcols : i*dhcols+nRank]
+			if xv == 0 {
+				dxd[i*dxcols+k] = tensor.Dot(dhrow, w)
+				continue
+			}
+			dxd[i*dxcols+k] = tensor.FusedAxpyDot(dhrow, w, gw, xv)
+		}
+	}
+	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true
+	return dx
+}
+
+// Forward32 applies the activation over float32 storage. ReLU and
+// Identity — the search hot path — are exact on the stored values
+// (selection, not arithmetic); other activations evaluate in float64 and
+// round once on store.
+func (l *ActivationLayer) Forward32(x *tensor.Matrix32) *tensor.Matrix32 {
+	l.input32, l.input = x, nil
+	out := l.Arena.GetNoZero32(x.Rows, x.Cols)
+	switch l.Act {
+	case Identity:
+		copy(out.Data, x.Data)
+	case ReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	default:
+		for i, v := range x.Data {
+			out.Data[i] = float32(l.Act.Apply(float64(v)))
+		}
+	}
+	return out
+}
+
+// Backward32 returns grad ⊙ act'(input) with the float64 gradient and the
+// float32 cached input.
+func (l *ActivationLayer) Backward32(grad *tensor.Matrix) *tensor.Matrix {
+	if l.input32 == nil {
+		panic("nn: ActivationLayer.Backward32 before Forward32")
+	}
+	out := l.Arena.GetNoZero(grad.Rows, grad.Cols)
+	switch l.Act {
+	case Identity:
+		copy(out.Data, grad.Data)
+	case ReLU:
+		for i, v := range l.input32.Data {
+			if v > 0 {
+				out.Data[i] = grad.Data[i]
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	default:
+		for i := range grad.Data {
+			out.Data[i] = grad.Data[i] * l.Act.Derivative(float64(l.input32.Data[i]))
+		}
+	}
+	return out
+}
+
+// Forward32 mean-pools into float32 storage: each bag accumulates in a
+// float64 scratch row and rounds once into the output row. Backward is
+// shared with the default path — the pooled gradient arrives float64
+// either way.
+func (e *Embedding) Forward32(indices [][]int) *tensor.Matrix32 {
+	e.lastIndices = indices
+	out := e.Arena.GetNoZero32(len(indices), e.activeWidth)
+	scratch := e.Arena.GetNoZero(1, e.activeWidth).Row(0)
+	for i, bag := range indices {
+		orow := out.Row(i)
+		if len(bag) == 0 {
+			for j := range orow {
+				orow[j] = 0
+			}
+			continue
+		}
+		for j := range scratch {
+			scratch[j] = 0
+		}
+		inv := 1 / float64(len(bag))
+		for _, idx := range bag {
+			tensor.Axpy(scratch, inv, e.Table.Value.Row(e.fold(idx)))
+		}
+		tensor.Quantize(orow, scratch)
+	}
+	return out
+}

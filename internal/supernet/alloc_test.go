@@ -62,3 +62,66 @@ func TestSteadyStateStepZeroMatrixAllocs(t *testing.T) {
 		t.Fatalf("steady-state step made %.1f heap allocations per run, want 0", allocs)
 	}
 }
+
+// TestWarmupStepZeroMatrixAllocs extends the allocation gate to the
+// warmup schedule. Warmup steps differ from steady state in which
+// sub-networks they train — every even shard runs the maximal (sandwich)
+// candidate, so warmup steps alternate the largest buffers in the space
+// with sampled ones — not in which machinery they run on. The arena,
+// worker pool and *Into kernels must absorb that shape churn exactly as
+// they absorb steady state: after a warm-up of the pools, a
+// maximal+sampled step pair performs zero heap and zero matrix-pool
+// allocations. (Warmup wall-time is dominated by the maximal candidate's
+// arithmetic — see docs/PERFORMANCE.md — not by allocation.)
+func TestWarmupStepZeroMatrixAllocs(t *testing.T) {
+	ds, master, stream := newSmall(t, 8)
+	rng := tensor.NewRNG(10)
+	replica := master.Replicate(rng.Split())
+	arena := tensor.NewArena()
+	replica.SetArena(arena)
+	defer func() {
+		replica.SetArena(nil)
+		arena.Release()
+		arena.Drain()
+	}()
+	opt := nn.NewAdam(0.003)
+	spine := nn.NewSpine(master.Params(), opt, 10)
+	batch := stream.NextBatch(32)
+
+	// The maximal candidate every warmup sandwich shard trains: argmax of
+	// each decision's values (mirrors core.MaxAssignment, which lives
+	// above this package).
+	maxA := make([]int, len(ds.Space.Decisions))
+	for i, d := range ds.Space.Decisions {
+		for j := 1; j < len(d.Values); j++ {
+			if d.Values[j] > d.Values[maxA[i]] {
+				maxA[i] = j
+			}
+		}
+	}
+	sampled := randomAssignment(ds, rng)
+	replicaParams := [][]*nn.Param{replica.Params()}
+
+	step := func(a []int) {
+		_, dout := replica.Loss(a, batch)
+		replica.Backward(dout)
+		spine.Reduce(replicaParams)
+		spine.ClipStep()
+	}
+	for i := 0; i < 3; i++ {
+		step(maxA)
+		step(sampled)
+	}
+
+	before := tensor.MatrixAllocs()
+	allocs := testing.AllocsPerRun(10, func() {
+		step(maxA)
+		step(sampled)
+	})
+	if d := tensor.MatrixAllocs() - before; d != 0 {
+		t.Fatalf("warmup step allocated %d matrices, want 0", d)
+	}
+	if allocs != 0 {
+		t.Fatalf("warmup step made %.1f heap allocations per run, want 0", allocs)
+	}
+}

@@ -69,6 +69,10 @@ type Supernet struct {
 	// vocabIdx[t] is the decision index of emb<t>_vocab, resolved once.
 	vocabIdx []int
 
+	// f32 switches Forward/Backward to float32 activation storage; see
+	// supernet32.go.
+	f32 bool
+
 	// acts is the pool of reusable activation layers; lastActs is the
 	// per-pass view of the ones actually used, consumed by Backward.
 	acts []*nn.ActivationLayer
@@ -303,6 +307,9 @@ func ReduceGrads(master *Supernet, replicas []*Supernet) {
 // Backward with the loss gradient to accumulate parameter gradients for
 // the same candidate.
 func (s *Supernet) Forward(a space.Assignment, batch *datapipe.Batch) *tensor.Matrix {
+	if s.f32 {
+		return s.forward32(a, batch)
+	}
 	// Recycle the previous pass's intermediates (no-op without an arena).
 	// Anything the caller still holds from the last pass becomes invalid
 	// here — see SetArena.
@@ -383,6 +390,10 @@ func (s *Supernet) activate(x *tensor.Matrix) *tensor.Matrix {
 func (s *Supernet) Backward(dLogits *tensor.Matrix) {
 	if s.lastBatch == nil {
 		panic("supernet: Backward before Forward")
+	}
+	if s.f32 {
+		s.backward32(dLogits)
+		return
 	}
 	a, ar, cfg := s.lastAssignment, s.lastArch, s.DS.Config
 	actIdx := len(s.lastActs) - 1

@@ -1,0 +1,145 @@
+package supernet
+
+import (
+	"h2onas/internal/datapipe"
+	"h2onas/internal/nn"
+	"h2onas/internal/space"
+	"h2onas/internal/tensor"
+)
+
+// Float32 activation mode for shard replicas: forward activations —
+// bottom/top MLP outputs, the hidden low-rank product, the concat buffer
+// and pooled embeddings — are stored float32, halving the forward
+// footprint and memory traffic of every replica. Arithmetic stays
+// float64 everywhere ("float64 math, float32 storage", see
+// internal/nn/layers32.go): the shared master weights, all gradients and
+// the optimizer state are untouched, logits stay float64, and the
+// gradient half of a step is byte-for-byte the default code. The mode
+// changes numerics only by the single float32 rounding each stored
+// activation receives, so it carries its own golden trajectory
+// (internal/core testdata/golden/float32.json).
+
+// SetFloat32Activations toggles float32 activation storage for this
+// super-network's Forward/Backward. Flip it only between full passes —
+// Backward must see the mode its Forward ran under.
+func (s *Supernet) SetFloat32Activations(on bool) { s.f32 = on }
+
+// Float32Activations reports whether float32 activation storage is on.
+func (s *Supernet) Float32Activations() bool { return s.f32 }
+
+// forward32 mirrors Forward with float32 activation storage. The dense
+// features are quantized once on entry; every inter-layer buffer through
+// the top MLP is float32; the logit layer widens back to float64.
+func (s *Supernet) forward32(a space.Assignment, batch *datapipe.Batch) *tensor.Matrix {
+	s.arena.Release()
+	s.DS.DecodeInto(a, &s.lastArch)
+	ar := s.lastArch
+	cfg := s.DS.Config
+	n := batch.Size()
+
+	s.lastAssignment = append(s.lastAssignment[:0], a...)
+	s.lastBatch = batch
+	s.lastActs = s.lastActs[:0]
+
+	// Bottom MLP over dense features, quantized at the boundary.
+	x := s.arena.GetNoZero32(n, batch.Dense.Cols)
+	for r := 0; r < n; r++ {
+		tensor.Quantize(x.Row(r), batch.Dense.Row(r))
+	}
+	for i, w := range ar.BottomWidths {
+		x = s.runSlot32(s.bottom[i], x, w, ar.BottomRanks[i])
+		x = s.activate32(x)
+	}
+	s.lastBottomOut = x.Cols
+
+	// Concat: same fixed layout as Forward; the zero fill is the mask.
+	concat := s.arena.Get32(n, s.concatWidth)
+	for r := 0; r < n; r++ {
+		copy(concat.Row(r)[:x.Cols], x.Row(r))
+	}
+	for t := 0; t < cfg.NumTables; t++ {
+		w := ar.EmbWidths[t]
+		if w <= 0 {
+			continue
+		}
+		emb := s.tableFor(a, t, ar)
+		emb.SetActiveWidth(w)
+		out := emb.Forward32(batch.Sparse[t])
+		off := s.maxBottomOut + t*s.maxEmbWidth
+		for r := 0; r < n; r++ {
+			copy(concat.Row(r)[off:off+w], out.Row(r))
+		}
+	}
+
+	y := concat
+	for i, w := range ar.TopWidths {
+		y = s.runSlot32(s.top[i], y, w, ar.TopRanks[i])
+		y = s.activate32(y)
+	}
+	s.logit.SetActive(y.Cols, 1)
+	return s.logit.Forward32(y)
+}
+
+// runSlot32 is runSlot over float32 activations.
+func (s *Supernet) runSlot32(slot *mlpSlot, x *tensor.Matrix32, w, rank int) *tensor.Matrix32 {
+	if r := min(w, x.Cols); rank > r {
+		rank = r
+	}
+	slot.low.SetActive(x.Cols, w, rank)
+	return slot.low.Forward32(x)
+}
+
+// activate32 is activate over float32 activations, sharing the same
+// pooled layer objects.
+func (s *Supernet) activate32(x *tensor.Matrix32) *tensor.Matrix32 {
+	i := len(s.lastActs)
+	if i == len(s.acts) {
+		act := nn.NewActivationLayer(nn.ReLU)
+		act.Arena = s.arena
+		s.acts = append(s.acts, act)
+	}
+	act := s.acts[i]
+	s.lastActs = append(s.lastActs, act)
+	return act.Forward32(x)
+}
+
+// backward32 mirrors Backward against a forward32 pass. Gradients are
+// float64 end to end — only the layers' cached activations differ — so
+// the embedding scatter and the gradient plumbing are the same code shape
+// as Backward.
+func (s *Supernet) backward32(dLogits *tensor.Matrix) {
+	a, ar, cfg := s.lastAssignment, s.lastArch, s.DS.Config
+	actIdx := len(s.lastActs) - 1
+
+	grad := s.logit.Backward32(dLogits)
+	for i := len(ar.TopWidths) - 1; i >= 0; i-- {
+		grad = s.lastActs[actIdx].Backward32(grad)
+		actIdx--
+		grad = s.top[i].low.Backward32(grad)
+	}
+
+	n := grad.Rows
+	for t := 0; t < cfg.NumTables; t++ {
+		w := ar.EmbWidths[t]
+		if w <= 0 {
+			continue
+		}
+		off := s.maxBottomOut + t*s.maxEmbWidth
+		eg := s.arena.GetNoZero(n, w)
+		for r := 0; r < n; r++ {
+			copy(eg.Row(r), grad.Row(r)[off:off+w])
+		}
+		s.tableFor(a, t, ar).Backward(eg)
+	}
+	bw := s.lastBottomOut
+	bg := s.arena.GetNoZero(n, bw)
+	for r := 0; r < n; r++ {
+		copy(bg.Row(r), grad.Row(r)[:bw])
+	}
+	grad = bg
+	for i := len(ar.BottomWidths) - 1; i >= 0; i-- {
+		grad = s.lastActs[actIdx].Backward32(grad)
+		actIdx--
+		grad = s.bottom[i].low.Backward32(grad)
+	}
+}

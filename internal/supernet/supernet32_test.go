@@ -1,0 +1,115 @@
+package supernet
+
+import (
+	"math"
+	"testing"
+
+	"h2onas/internal/nn"
+	"h2onas/internal/tensor"
+)
+
+// TestFloat32ForwardCloseToFloat64 checks the float32 activation mode
+// computes the same function up to activation-storage rounding: logits
+// from identical weights agree with the float64 path to float32-level
+// relative error, and are finite across random candidates.
+func TestFloat32ForwardCloseToFloat64(t *testing.T) {
+	ds, sn, stream := newSmall(t, 21)
+	rng := tensor.NewRNG(5)
+	b := stream.NextBatch(16)
+	for trial := 0; trial < 20; trial++ {
+		a := randomAssignment(ds, rng)
+		ref := sn.Forward(a, b).Clone()
+		sn.SetFloat32Activations(true)
+		got := sn.Forward(a, b)
+		sn.SetFloat32Activations(false)
+		for i, v := range got.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("trial %d: non-finite f32-mode logit", trial)
+			}
+			// A handful of float32 roundings along the deepest path; 1e-4
+			// relative (vs ~6e-8 per rounding) leaves a wide margin while
+			// still catching any use of the wrong weights or layout.
+			if diff := math.Abs(v - ref.Data[i]); diff > 1e-4*(1+math.Abs(ref.Data[i])) {
+				t.Fatalf("trial %d logit %d: f32 mode %v vs f64 %v", trial, i, v, ref.Data[i])
+			}
+		}
+	}
+}
+
+// TestFloat32BackwardDeterministicAndGradClose runs a full loss/backward
+// step in float32 mode twice from identical states, requiring bit-equal
+// gradients (the mode is deterministic), and compares against the float64
+// gradients loosely (same function, perturbed activations).
+func TestFloat32BackwardDeterministicAndGradClose(t *testing.T) {
+	ds, _, stream := newSmall(t, 22)
+	b := stream.NextBatch(8)
+	a := ds.BaselineAssignment()
+
+	run := func(f32 bool) []*nn.Param {
+		sn := New(ds, tensor.NewRNG(22))
+		sn.SetFloat32Activations(f32)
+		nn.ZeroGrads(sn.Params())
+		loss, dout := sn.Loss(a, b)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("f32=%v: non-finite loss %v", f32, loss)
+		}
+		sn.Backward(dout)
+		return sn.Params()
+	}
+
+	g32a, g32b := run(true), run(true)
+	for i := range g32a {
+		if len(g32a[i].Grad.Data) != len(g32b[i].Grad.Data) {
+			t.Fatalf("param %d: grad size mismatch", i)
+		}
+		for j := range g32a[i].Grad.Data {
+			if math.Float64bits(g32a[i].Grad.Data[j]) != math.Float64bits(g32b[i].Grad.Data[j]) {
+				t.Fatalf("param %d (%s) elem %d: f32 mode not deterministic", i, g32a[i].Name, j)
+			}
+		}
+	}
+
+	g64 := run(false)
+	for i := range g64 {
+		var maxAbs float64
+		for _, v := range g64[i].Grad.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for j := range g64[i].Grad.Data {
+			if diff := math.Abs(g32a[i].Grad.Data[j] - g64[i].Grad.Data[j]); diff > 1e-3*(1+maxAbs) {
+				t.Fatalf("param %d (%s) elem %d: f32 grad %v vs f64 %v", i, g64[i].Name, j, g32a[i].Grad.Data[j], g64[i].Grad.Data[j])
+			}
+		}
+	}
+}
+
+// TestFloat32StepZeroMatrixAllocs extends the steady-state allocation gate
+// to the float32 mode: once warm, a full loss/backward pass in f32 mode
+// performs no heap or matrix-pool allocations either.
+func TestFloat32StepZeroMatrixAllocs(t *testing.T) {
+	ds, sn, stream := newSmall(t, 23)
+	arena := tensor.NewArena()
+	sn.SetArena(arena)
+	sn.SetFloat32Activations(true)
+	a := ds.BaselineAssignment()
+	b := stream.NextBatch(16)
+
+	step := func() {
+		loss, dout := sn.Loss(a, b)
+		_ = loss
+		sn.Backward(dout)
+		nn.ZeroGrads(sn.Params())
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	before := tensor.MatrixAllocs()
+	if avg := testing.AllocsPerRun(10, step); avg != 0 {
+		t.Fatalf("f32 steady-state step allocates %.1f times per run", avg)
+	}
+	if diff := tensor.MatrixAllocs() - before; diff != 0 {
+		t.Fatalf("f32 steady-state step performed %d matrix allocations", diff)
+	}
+}

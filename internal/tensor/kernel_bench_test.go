@@ -47,6 +47,95 @@ func BenchmarkMatMulTransB(b *testing.B) {
 	}
 }
 
+// benchShapes are the allocation-free *Into benchmark shapes. The DLRM
+// entries are the small-DLRM search step's real operand sizes (batch 64
+// against bottom/top-MLP weights); the vit entries are ViT-Base token
+// mixing shapes (196 patch tokens × 768 hidden), whose weight operand
+// crosses blockMinElems so the cache-blocked path is what gets measured.
+var benchShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"dlrm/64x160x64", 64, 160, 64},
+	{"dlrm/64x64x64", 64, 64, 64},
+	{"dlrm/16x64x160", 16, 64, 160},
+	{"vit/196x768x768", 196, 768, 768},
+	{"vit/196x768x3072", 196, 768, 3072},
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	for _, s := range benchShapes {
+		b.Run(s.name, func(b *testing.B) {
+			x, w := benchMatrices(s.m, s.k, s.n)
+			out := New(s.m, s.n)
+			b.SetBytes(int64(8 * (s.m*s.k + s.k*s.n + s.m*s.n))) // compulsory traffic: read A+B, write C
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(x, w, out)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransAInto(b *testing.B) {
+	// Aᵀ·B at backward shapes: x is batch×in, g is batch×out, the
+	// product is the in×out weight gradient.
+	for _, s := range benchShapes {
+		b.Run(s.name, func(b *testing.B) {
+			rng := NewRNG(2)
+			x := RandN(s.m, s.k, 1, rng)
+			g := RandN(s.m, s.n, 1, rng)
+			out := New(s.k, s.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransAInto(x, g, out)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransBInto(b *testing.B) {
+	// G·Wᵀ at backward shapes: g is batch×out, w is in×out, the product
+	// is the batch×in input gradient.
+	for _, s := range benchShapes {
+		b.Run(s.name, func(b *testing.B) {
+			rng := NewRNG(2)
+			g := RandN(s.m, s.n, 1, rng)
+			w := RandN(s.k, s.n, 1, rng)
+			out := New(s.m, s.k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(g, w, out)
+			}
+		})
+	}
+}
+
+// BenchmarkAxpy measures the innermost kernel alone, at the row widths
+// the masked/low-rank layers stream through it (DLRM MLP widths and
+// ViT hidden widths). This is the kernel the h2ofast build tag
+// vectorizes; compare the two backends with
+//
+//	go test ./internal/tensor -bench Axpy
+//	go test -tags h2ofast ./internal/tensor -bench Axpy
+func BenchmarkAxpy(b *testing.B) {
+	for _, n := range []int{64, 160, 768, 3072} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			rng := NewRNG(4)
+			dst := make([]float64, n)
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = rng.Norm()
+			}
+			b.SetBytes(int64(8 * 3 * n)) // read dst+src, write dst
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Axpy(dst, 0.0001, src)
+			}
+		})
+	}
+}
+
 func BenchmarkMatVec(b *testing.B) {
 	rng := NewRNG(3)
 	a := RandN(256, 256, 1, rng)

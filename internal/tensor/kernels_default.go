@@ -1,0 +1,19 @@
+//go:build !h2ofast
+
+package tensor
+
+// Default build: the inner kernels are the scalar reference loops. The
+// one-line dispatchers inline away, so the default path pays nothing for
+// the backend seam. Build with -tags h2ofast (see kernels_h2ofast_*.go)
+// to swap in the AVX2 backend, which preserves the same per-element
+// accumulation sequence (see kernels_generic.go for the contract).
+
+func axpyUnrolled(dst []float64, s float64, src []float64) { axpyGeneric(dst, s, src) }
+
+func dotUnrolled(a, b []float64) float64 { return dotGeneric(a, b) }
+
+func fusedAxpyDot(g, w, gw []float64, x float64) float64 { return fusedGeneric(g, w, gw, x) }
+
+// KernelBackend names the inner-kernel backend compiled into this binary:
+// "scalar" for the default reference build.
+func KernelBackend() string { return "scalar" }

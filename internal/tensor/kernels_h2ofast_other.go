@@ -1,0 +1,16 @@
+//go:build h2ofast && !amd64
+
+package tensor
+
+// h2ofast on a non-amd64 target: no assembly backend exists, so the tag
+// degrades to the scalar reference loops. Results are identical to the
+// default build (the contract in kernels_generic.go is the same code).
+
+func axpyUnrolled(dst []float64, s float64, src []float64) { axpyGeneric(dst, s, src) }
+
+func dotUnrolled(a, b []float64) float64 { return dotGeneric(a, b) }
+
+func fusedAxpyDot(g, w, gw []float64, x float64) float64 { return fusedGeneric(g, w, gw, x) }
+
+// KernelBackend names the inner-kernel backend compiled into this binary.
+func KernelBackend() string { return "h2ofast-generic" }

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelBackendMatchesReference cross-checks the build-active inner
+// kernels (axpyUnrolled / dotUnrolled / fusedAxpyDot) against the scalar
+// reference bodies in kernels_generic.go, bit for bit — tolerance zero.
+// On the default build the dispatchers ARE the reference, so this passes
+// trivially; its purpose is the h2ofast build, where it proves the AVX2
+// assembly honors the numeric contract (CI runs it under -tags h2ofast
+// with GOAMD64=v3). Lengths cover both sides of the AVX dispatch
+// threshold and every tail residue mod 4.
+func TestKernelBackendMatchesReference(t *testing.T) {
+	t.Logf("kernel backend: %s", KernelBackend())
+	rng := rand.New(rand.NewSource(3))
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 18, 19, 31, 32, 63, 64, 100, 160, 257, 1024, 1023}
+	for _, n := range lengths {
+		src := make([]float64, n)
+		g := make([]float64, n)
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			src[i] = rng.NormFloat64()
+			g[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		if n > 2 {
+			g[n/2] = 0 // zero element flows through both chains
+		}
+		s := rng.NormFloat64()
+		x := rng.NormFloat64()
+
+		dstGot := make([]float64, n)
+		dstWant := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()
+			dstGot[i] = v
+			dstWant[i] = v
+		}
+		axpyUnrolled(dstGot, s, src)
+		axpyGeneric(dstWant, s, src)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(dstGot[i]) != math.Float64bits(dstWant[i]) {
+				t.Fatalf("axpy n=%d elem %d: %v != %v", n, i, dstGot[i], dstWant[i])
+			}
+		}
+
+		dg := dotUnrolled(g, w)
+		dw := dotGeneric(g, w)
+		if math.Float64bits(dg) != math.Float64bits(dw) {
+			t.Fatalf("dot n=%d: %v (%016x) != %v (%016x)", n, dg, math.Float64bits(dg), dw, math.Float64bits(dw))
+		}
+
+		gwGot := make([]float64, n)
+		gwWant := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()
+			gwGot[i] = v
+			gwWant[i] = v
+		}
+		fg := fusedAxpyDot(g, w, gwGot, x)
+		fw := fusedGeneric(g, w, gwWant, x)
+		if math.Float64bits(fg) != math.Float64bits(fw) {
+			t.Fatalf("fused dot n=%d: %v != %v", n, fg, fw)
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(gwGot[i]) != math.Float64bits(gwWant[i]) {
+				t.Fatalf("fused gw n=%d elem %d: %v != %v", n, i, gwGot[i], gwWant[i])
+			}
+		}
+	}
+}
+
+// TestKernelBackendName sanity-checks the backend self-report so CI logs
+// show which path actually ran.
+func TestKernelBackendName(t *testing.T) {
+	switch KernelBackend() {
+	case "scalar", "h2ofast-avx2", "h2ofast-generic":
+	default:
+		t.Fatalf("unknown kernel backend %q", KernelBackend())
+	}
+}

@@ -7,6 +7,39 @@ import "fmt"
 // small products.
 const parallelThreshold = 1 << 18
 
+// Cache-blocking parameters for the large-shape matmul paths, derived
+// from the host cache model and the hwsim roofline in internal/tensor/tune
+// (tune's test asserts the derivation still yields these values; the
+// derivation itself is documented in docs/PERFORMANCE.md "Kernel tuning").
+//
+//   - blockK: k-panel height. A blockK×blockJ panel of b is re-read once
+//     per output row sweep; blockK·blockJ·8 bytes ≤ L2/4 keeps it
+//     L2-resident, and the roofline lower bound (operational intensity
+//     ≥ the host ridge point) is already met at blockK ≥ 8.
+//   - blockJ: j-panel width. An output-row segment plus a b-row segment
+//     (2·blockJ·8 bytes) stay within half of L1d.
+//
+// Blocking engages only above blockMinElems — b (or the output panel)
+// larger than half of L2 — because below that every operand is already
+// cache-resident and the straight i-k-j sweep is optimal. The small-DLRM
+// search step never crosses the threshold; ViT-scale and benchmark shapes
+// do.
+//
+// Bit-identity: blocks walk k in ascending panels and each output element
+// accumulates its k contributions in ascending order within a single
+// chain seeded by the same zero/bias, so the blocked path is bit-identical
+// to the unblocked reference (pinned by TestBlockedKernelsBitIdentical).
+const (
+	blockK        = 64
+	blockJ        = 1024
+	blockMinElems = 1 << 17 // float64 elements: 1 MB, half of L2
+)
+
+// MatMulBlockShape reports the cache-blocking parameters (k-panel height,
+// j-panel width) the large-shape kernels use. internal/tensor/tune
+// re-derives them from the hardware model; its test pins the agreement.
+func MatMulBlockShape() (kc, jc int) { return blockK, blockJ }
+
 // MatMul returns a·b for an (n×k) a and (k×m) b. It is MatMulInto with a
 // freshly allocated output.
 func MatMul(a, b *Matrix) *Matrix {
@@ -19,8 +52,9 @@ func MatMul(a, b *Matrix) *Matrix {
 // contents of out are overwritten. out must not alias a or b.
 //
 // The kernel iterates in i-k-j order so the inner loop walks both the
-// output row and the b row contiguously, and shards output rows across
-// the persistent worker pool for large products.
+// output row and the b row contiguously, shards output rows across the
+// persistent worker pool for large products, and switches to a
+// cache-blocked sweep (bit-identical; see blockK) when b outgrows L2.
 func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -36,6 +70,10 @@ func MatMulInto(a, b, out *Matrix) {
 }
 
 func matmulRows(a, b, out *Matrix, lo, hi int) {
+	if b.Rows*b.Cols > blockMinElems {
+		matmulRowsBlocked(a, b, out, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -52,32 +90,38 @@ func matmulRows(a, b, out *Matrix, lo, hi int) {
 	}
 }
 
-// axpyUnrolled computes dst[j] += s*src[j], 4 elements per iteration.
-// Each dst element still receives exactly the same sequence of adds as
-// the scalar loop, so results are bit-identical.
-func axpyUnrolled(dst []float64, s float64, src []float64) {
-	n := len(dst)
-	src = src[:n] // bounds-check elimination hint
-	j := 0
-	for ; j+3 < n; j += 4 {
-		dst[j] += s * src[j]
-		dst[j+1] += s * src[j+1]
-		dst[j+2] += s * src[j+2]
-		dst[j+3] += s * src[j+3]
+// matmulRowsBlocked is matmulRows for b larger than L2: k is walked in
+// ascending blockK panels and j in blockJ panels, so the active
+// blockK×blockJ panel of b stays L2-resident across the row sweep instead
+// of b being re-streamed from memory once per output row. Ascending k
+// panels preserve each output element's accumulation order exactly.
+func matmulRowsBlocked(a, b, out *Matrix, lo, hi int) {
+	K := a.Cols
+	N := b.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
 	}
-	for ; j < n; j++ {
-		dst[j] += s * src[j]
+	for k0 := 0; k0 < K; k0 += blockK {
+		k1 := min(k0+blockK, K)
+		for j0 := 0; j0 < N; j0 += blockJ {
+			j1 := min(j0+blockJ, N)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					axpyUnrolled(orow, av, b.Row(k)[j0:j1])
+				}
+			}
+		}
 	}
 }
-
-// Axpy computes dst[j] += s·src[j] over slices, 4-wide unrolled with
-// per-element order preserved. It is the building block the hand-written
-// layer kernels in internal/nn share with the matmul kernels here.
-func Axpy(dst []float64, s float64, src []float64) { axpyUnrolled(dst, s, src) }
-
-// Dot returns Σ a[k]·b[k] with four parallel accumulators (deterministic
-// fixed order; see dotUnrolled).
-func Dot(a, b []float64) float64 { return dotUnrolled(a, b) }
 
 // MatMulTransA returns aᵀ·b for a (k×n) a and (k×m) b. It is
 // MatMulTransAInto with a freshly allocated output.
@@ -111,6 +155,10 @@ func MatMulTransAInto(a, b, out *Matrix) {
 // transACols accumulates output rows [lo,hi) of aᵀ·b (i.e. columns
 // [lo,hi) of a).
 func transACols(a, b, out *Matrix, lo, hi int) {
+	if (hi-lo)*b.Cols > blockMinElems {
+		transAColsBlocked(a, b, out, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		orow := out.Row(i)
 		for j := range orow {
@@ -126,6 +174,37 @@ func transACols(a, b, out *Matrix, lo, hi int) {
 				continue
 			}
 			axpyUnrolled(out.Row(i), av, brow)
+		}
+	}
+}
+
+// transAColsBlocked is transACols for output panels larger than L2: the
+// unblocked form re-streams the whole (hi-lo)×N output panel once per k,
+// which thrashes once it outgrows L2. Blocking j keeps the active
+// (hi-lo)×blockJ output panel resident across the full k sweep, at the
+// cost of re-streaming a (small, contiguous) slice of each b row per
+// panel. k stays ascending inside each j panel, so per-element
+// accumulation order is unchanged.
+func transAColsBlocked(a, b, out *Matrix, lo, hi int) {
+	N := b.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for j0 := 0; j0 < N; j0 += blockJ {
+		j1 := min(j0+blockJ, N)
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)[j0:j1]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				axpyUnrolled(out.Row(i)[j0:j1], av, brow)
+			}
 		}
 	}
 }
@@ -156,8 +235,26 @@ func MatMulTransBInto(a, b, out *Matrix) {
 	sharedPool().run(a.Rows, opMatMulTransB, a, b, out)
 }
 
-// transBRows computes output rows [lo,hi) of a·bᵀ as dot products.
+// transBRows computes output rows [lo,hi) of a·bᵀ as dot products. When b
+// outgrows L2 the j (b-row) loop is tiled so a panel of b rows is reused
+// across every output row before moving on — each output element is still
+// one dotUnrolled call, so blocking cannot change any bit.
 func transBRows(a, b, out *Matrix, lo, hi int) {
+	if b.Rows*b.Cols > blockMinElems && hi-lo > 1 {
+		// Panel height: as many b rows as fit in half of L2.
+		jb := max(1, blockMinElems/(2*b.Cols))
+		for j0 := 0; j0 < b.Rows; j0 += jb {
+			j1 := min(j0+jb, b.Rows)
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)
+				for j := j0; j < j1; j++ {
+					orow[j] = dotUnrolled(arow, b.Row(j))
+				}
+			}
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -165,26 +262,6 @@ func transBRows(a, b, out *Matrix, lo, hi int) {
 			orow[j] = dotUnrolled(arow, b.Row(j))
 		}
 	}
-}
-
-// dotUnrolled returns Σ a[k]·b[k] using four parallel accumulators. The
-// accumulation order is fixed (deterministic) but differs from a single
-// running sum.
-func dotUnrolled(a, b []float64) float64 {
-	var s0, s1, s2, s3 float64
-	n := len(a)
-	b = b[:n] // bounds-check elimination hint
-	k := 0
-	for ; k+3 < n; k += 4 {
-		s0 += a[k] * b[k]
-		s1 += a[k+1] * b[k+1]
-		s2 += a[k+2] * b[k+2]
-		s3 += a[k+3] * b[k+3]
-	}
-	for ; k < n; k++ {
-		s0 += a[k] * b[k]
-	}
-	return s0 + s1 + s2 + s3
 }
 
 // MatVec returns a·x for an (n×k) a and length-k x.

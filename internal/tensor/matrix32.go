@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Matrix32 is a dense row-major float32 matrix: the storage type of the
+// opt-in float32 activation mode. Replica forward activations are held in
+// Matrix32 buffers (halving their footprint and memory traffic) while all
+// arithmetic, master weights, gradients and optimizer state stay float64;
+// layers compute each output element as a float64 chain and round once on
+// store. It intentionally mirrors only the small slice of Matrix's API
+// the activation path needs.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New32 allocates a zeroed rows×cols float32 matrix.
+func New32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	matrixAllocs.Add(1)
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row i as a slice sharing the matrix's storage.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Quantize rounds src into dst element-wise (round-to-nearest-even, the
+// hardware float64→float32 conversion). len(dst) must equal len(src).
+func Quantize(dst []float32, src []float64) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] = float32(src[i])
+	}
+}
+
+// Dequantize widens src into dst element-wise (exact: every float32 is a
+// float64). len(dst) must equal len(src).
+func Dequantize(dst []float64, src []float32) {
+	src = src[:len(dst)]
+	for i := range dst {
+		dst[i] = float64(src[i])
+	}
+}
+
+// bucketPool32 is the float32 counterpart of bucketPool: the global,
+// size-bucketed backing store arenas drain their float32 buffers into.
+var bucketPool32 [numBuckets]sync.Pool
+
+// Get32 returns a zero-filled rows×cols float32 matrix owned by the arena
+// (or by the caller when a is nil). Ownership follows the same rule as
+// Get: valid until the arena's next Release.
+func (a *Arena) Get32(rows, cols int) *Matrix32 {
+	if a == nil {
+		return New32(rows, cols)
+	}
+	m := a.GetNoZero32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// GetNoZero32 returns a rows×cols float32 matrix owned by the arena
+// without clearing its contents; the caller must fully overwrite every
+// element before reading.
+func (a *Arena) GetNoZero32(rows, cols int) *Matrix32 {
+	if a == nil {
+		return New32(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	need := rows * cols
+	b := bucketFor(need)
+	var m *Matrix32
+	if n := len(a.free32[b]); n > 0 {
+		m = a.free32[b][n-1]
+		a.free32[b][n-1] = nil
+		a.free32[b] = a.free32[b][:n-1]
+	} else if v := bucketPool32[b].Get(); v != nil {
+		m = v.(*Matrix32)
+	} else {
+		matrixAllocs.Add(1)
+		m = &Matrix32{Data: make([]float32, 1<<b)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:need]
+	a.out32 = append(a.out32, m)
+	return m
+}

@@ -1,0 +1,55 @@
+package tune
+
+import (
+	"testing"
+
+	"h2onas/internal/hwsim"
+	"h2onas/internal/tensor"
+)
+
+// TestDerivationMatchesKernelConstants pins the compiled-in block shape of
+// the tensor kernels to this package's derivation: if either the hardware
+// model or the kernel constants drift, this fails and the two must be
+// reconciled deliberately (see docs/PERFORMANCE.md "Kernel tuning").
+func TestDerivationMatchesKernelConstants(t *testing.T) {
+	kc, jc := BlockShape(HostChip(), HostCacheModel())
+	gotKC, gotJC := tensor.MatMulBlockShape()
+	if kc != gotKC || jc != gotJC {
+		t.Fatalf("derived block shape (%d,%d) != kernel constants (%d,%d)", kc, jc, gotKC, gotJC)
+	}
+}
+
+// TestBlockShapeRespectsBounds checks the derivation's own invariants on
+// the host model: both panels are powers of two, the axpy slabs fit in
+// half of L1d, the b panel fits in a quarter of L2, and the k panel
+// clears the roofline floor with margin.
+func TestBlockShapeRespectsBounds(t *testing.T) {
+	chip := HostChip()
+	c := HostCacheModel()
+	kc, jc := BlockShape(chip, c)
+	if kc&(kc-1) != 0 || jc&(jc-1) != 0 {
+		t.Fatalf("block shape (%d,%d) not powers of two", kc, jc)
+	}
+	if 2*jc*8 > c.L1DBytes/2 {
+		t.Fatalf("jc=%d: axpy slabs %d bytes exceed L1d/2=%d", jc, 2*jc*8, c.L1DBytes/2)
+	}
+	if kc*jc*8 > c.L2Bytes/4 {
+		t.Fatalf("(%d,%d): b panel %d bytes exceeds L2/4=%d", kc, jc, kc*jc*8, c.L2Bytes/4)
+	}
+	if ridge := hwsim.RidgePoint(chip); float64(kc) < 8*ridge {
+		t.Fatalf("kc=%d below roofline floor 8×ridge=%g", kc, 8*ridge)
+	}
+}
+
+// TestBlockShapeScalesWithCaches sanity-checks the derivation's direction:
+// a host with double the caches should never get a smaller panel.
+func TestBlockShapeScalesWithCaches(t *testing.T) {
+	chip := HostChip()
+	small := HostCacheModel()
+	big := HostCaches{L1DBytes: small.L1DBytes * 2, L2Bytes: small.L2Bytes * 2}
+	kcS, jcS := BlockShape(chip, small)
+	kcB, jcB := BlockShape(chip, big)
+	if jcB < jcS || kcB*jcB < kcS*jcS {
+		t.Fatalf("doubling caches shrank the block: (%d,%d) -> (%d,%d)", kcS, jcS, kcB, jcB)
+	}
+}
