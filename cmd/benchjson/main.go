@@ -39,18 +39,31 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the top-level JSON document.
+// Report is the top-level JSON document. GOMAXPROCS, NumCPU and
+// KernelBackend describe the machine configuration the numbers were
+// measured under — parallel-speedup figures are meaningless across
+// different core counts, so compare refuses to diff reports whose
+// recorded configurations disagree. GOMAXPROCS is inferred from the
+// `-N` suffix go test appends to benchmark names (absent suffix means
+// 1; mixed suffixes leave it 0 = unknown) and can be overridden, like
+// the other two, with the -gomaxprocs/-numcpu/-backend flags.
 type Report struct {
-	GOOS       string   `json:"goos,omitempty"`
-	GOARCH     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	GOOS          string   `json:"goos,omitempty"`
+	GOARCH        string   `json:"goarch,omitempty"`
+	Pkg           string   `json:"pkg,omitempty"`
+	CPU           string   `json:"cpu,omitempty"`
+	GOMAXPROCS    int      `json:"gomaxprocs,omitempty"`
+	NumCPU        int      `json:"numcpu,omitempty"`
+	KernelBackend string   `json:"kernel_backend,omitempty"`
+	Benchmarks    []Result `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "-", "output path for the JSON report (- for stdout)")
 	baseline := flag.String("baseline", "", "optional baseline JSON to diff against (informational, never fails)")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "record this GOMAXPROCS in the report instead of inferring it from benchmark-name suffixes")
+	numcpu := flag.Int("numcpu", 0, "record the machine's runtime.NumCPU in the report")
+	backend := flag.String("backend", "", "record the kernel backend (e.g. blocked, naive) in the report")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -58,6 +71,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *gomaxprocs != 0 {
+		rep.GOMAXPROCS = *gomaxprocs
+	}
+	rep.NumCPU = *numcpu
+	rep.KernelBackend = *backend
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
@@ -150,7 +168,30 @@ func parse(r io.Reader) (*Report, error) {
 			rep.Benchmarks[i].Pkg = ""
 		}
 	}
+	rep.GOMAXPROCS = inferProcs(rep.Benchmarks)
 	return rep, sc.Err()
+}
+
+// inferProcs recovers GOMAXPROCS from the -N suffix `go test` appends to
+// benchmark names when it is not 1. No suffix means 1; benchmarks run
+// under differing values leave the stamp 0 (unknown), which compare
+// treats as "no claim".
+func inferProcs(benchmarks []Result) int {
+	procs := 0
+	for _, b := range benchmarks {
+		p := 1
+		if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+			if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
+				p = n
+			}
+		}
+		if procs == 0 {
+			procs = p
+		} else if procs != p {
+			return 0
+		}
+	}
+	return procs
 }
 
 // compare prints a benchstat-style delta table of new vs baseline for the
@@ -164,18 +205,32 @@ func compare(path string, cur *Report) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
+	if why := configMismatch(&base, cur); why != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: REFUSING baseline compare vs %s: %s\n", path, why)
+		fmt.Fprintf(os.Stderr, "benchjson: speedup numbers are meaningless across machine configurations; re-measure the baseline here or stamp matching -gomaxprocs/-numcpu/-backend\n")
+		return nil
+	}
 	// Key by pkg+name so multi-package reports cannot collide two
-	// same-named benchmarks; a bare-name fallback keeps old baselines
-	// (written before per-result pkg tags existed) comparable.
-	key := func(b Result) string { return b.Pkg + "\x00" + b.Name }
+	// same-named benchmarks. Single-package reports carry the pkg at the
+	// report level only, so the result-level tag falls back to it — a
+	// one-package run stays comparable against a concatenated baseline.
+	// A bare-name fallback keeps old baselines (written before pkg tags
+	// existed) comparable too.
+	key := func(rep *Report, b Result) string {
+		pkg := b.Pkg
+		if pkg == "" {
+			pkg = rep.Pkg
+		}
+		return pkg + "\x00" + b.Name
+	}
 	byName := make(map[string]Result, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		byName[key(b)] = b
+		byName[key(&base, b)] = b
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: informational compare vs %s\n", path)
 	for _, b := range cur.Benchmarks {
-		old, ok := byName[key(b)]
-		if !ok && b.Pkg != "" {
+		old, ok := byName[key(cur, b)]
+		if !ok {
 			old, ok = byName["\x00"+b.Name]
 		}
 		if !ok {
@@ -193,4 +248,21 @@ func compare(path string, cur *Report) error {
 		}
 	}
 	return nil
+}
+
+// configMismatch reports why two reports' machine configurations are not
+// comparable, or "" when they are. A zero/empty stamp on either side
+// makes no claim (old baselines predate the metadata), so only fields
+// both sides recorded can disagree.
+func configMismatch(base, cur *Report) string {
+	if base.GOMAXPROCS != 0 && cur.GOMAXPROCS != 0 && base.GOMAXPROCS != cur.GOMAXPROCS {
+		return fmt.Sprintf("GOMAXPROCS %d (baseline) vs %d (current)", base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if base.NumCPU != 0 && cur.NumCPU != 0 && base.NumCPU != cur.NumCPU {
+		return fmt.Sprintf("NumCPU %d (baseline) vs %d (current)", base.NumCPU, cur.NumCPU)
+	}
+	if base.KernelBackend != "" && cur.KernelBackend != "" && base.KernelBackend != cur.KernelBackend {
+		return fmt.Sprintf("kernel backend %q (baseline) vs %q (current)", base.KernelBackend, cur.KernelBackend)
+	}
+	return ""
 }

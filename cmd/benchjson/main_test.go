@@ -95,3 +95,59 @@ func TestParseIgnoresMalformedLines(t *testing.T) {
 		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
 	}
 }
+
+// TestInferProcs pins GOMAXPROCS recovery from benchmark-name suffixes:
+// bare names mean 1, a uniform -N suffix means N, and mixed suffixes
+// make no claim (0).
+func TestInferProcs(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  int
+	}{
+		{[]string{"BenchmarkSearchStep", "BenchmarkAxpy/n160"}, 1},
+		{[]string{"BenchmarkSearchStep-4", "BenchmarkAxpy/n160-4"}, 4},
+		{[]string{"BenchmarkSearchStep-4", "BenchmarkSearchStep"}, 0},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		var bs []Result
+		for _, n := range c.names {
+			bs = append(bs, Result{Name: n})
+		}
+		if got := inferProcs(bs); got != c.want {
+			t.Errorf("inferProcs(%v) = %d, want %d", c.names, got, c.want)
+		}
+	}
+}
+
+func TestParseInfersGOMAXPROCS(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkSearchStep-4 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS != 4 {
+		t.Fatalf("GOMAXPROCS = %d, want 4", rep.GOMAXPROCS)
+	}
+}
+
+// TestConfigMismatch: compare must refuse cross-configuration diffs but
+// accept when either side makes no claim (old baselines).
+func TestConfigMismatch(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, cur  Report
+		wantRefuse bool
+	}{
+		{"identical", Report{GOMAXPROCS: 4, NumCPU: 8, KernelBackend: "blocked"}, Report{GOMAXPROCS: 4, NumCPU: 8, KernelBackend: "blocked"}, false},
+		{"procs differ", Report{GOMAXPROCS: 1}, Report{GOMAXPROCS: 4}, true},
+		{"numcpu differ", Report{NumCPU: 1}, Report{NumCPU: 8}, true},
+		{"backend differ", Report{KernelBackend: "naive"}, Report{KernelBackend: "blocked"}, true},
+		{"baseline makes no claim", Report{}, Report{GOMAXPROCS: 4, NumCPU: 8, KernelBackend: "blocked"}, false},
+		{"current makes no claim", Report{GOMAXPROCS: 4}, Report{}, false},
+	}
+	for _, c := range cases {
+		if got := configMismatch(&c.base, &c.cur); (got != "") != c.wantRefuse {
+			t.Errorf("%s: configMismatch = %q, want refusal=%v", c.name, got, c.wantRefuse)
+		}
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,7 +60,27 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-call deadline for remote shard RPCs (with -workers; 0 uses the default)")
 	resultOut := flag.String("result-out", "", "write the search result as JSON to this file (dlrm)")
 	failShard := flag.String("fail-shard", "", "fail shards in-process for reproduction, as shard:step[,shard:step...] — shard s fails every step ≥ step (dlrm)")
+	cores := flag.Int("cores", 0, "total core budget partitioned across shard workers and kernels; performance-only, never moves a bit (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	coreBudget = *cores
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("creating -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so it captures the post-search heap; fatalf paths exit
+		// without a profile, which is fine — profiles are for good runs.
+		defer writeHeapProfile(*memProfile)
+	}
 
 	// The registry instruments every layer of the run: the search loop,
 	// the controller, the data pipeline and the simulator. It prints as a
@@ -132,6 +154,24 @@ func main() {
 // searchMetrics is the run-wide registry handed to every search config.
 var searchMetrics *metrics.Registry
 
+// coreBudget is the -cores flag: the total core budget the search
+// partitions across shard workers and kernel fan-outs (0 = GOMAXPROCS).
+var coreBudget int
+
+// writeHeapProfile persists a post-GC heap profile for -memprofile.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "creating -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+	}
+}
+
 // writeMetricsSnapshot persists the registry as indented JSON.
 func writeMetricsSnapshot(reg *metrics.Registry, path string) error {
 	f, err := os.Create(path)
@@ -167,6 +207,7 @@ func runNLP(chip h2onas.Chip, kind reward.Kind, latency float64,
 	}
 	cfg := core.Config{
 		Shards: shards, Steps: steps, BatchSize: batch, WarmupSteps: warmup,
+		Workers:    coreBudget,
 		WeightLR:   0.003,
 		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
 		Seed:       seed,
@@ -253,6 +294,7 @@ func runDLRM(chip h2onas.Chip, kind reward.Kind, latency float64,
 	}
 	opts := h2onas.SearchConfig{
 		Shards: shards, Steps: steps, BatchSize: batch, WarmupSteps: warmup,
+		Workers:    coreBudget,
 		WeightLR:   0.003,
 		Controller: controller.Config{LearningRate: 0.2, BaselineMomentum: 0.9, EntropyWeight: 1e-4},
 		Seed:       seed,
@@ -413,6 +455,7 @@ func runVision(domain string, chip h2onas.Chip, kind reward.Kind, latency float6
 	}
 	cfg := h2onas.SearchConfig{
 		Shards: shards, Steps: steps,
+		Workers:    coreBudget,
 		Controller: controller.Config{LearningRate: 0.1, BaselineMomentum: 0.9, EntropyWeight: 2e-3},
 		Seed:       seed,
 		Metrics:    searchMetrics,

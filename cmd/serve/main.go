@@ -27,6 +27,10 @@
 // the same -jobs-dir resumes interrupted jobs from their newest
 // checkpoint; a graceful drain parks running jobs with a final snapshot
 // before the process exits.
+//
+// With -pprof (HTTP mode only, off by default), the net/http/pprof
+// profiling handlers are mounted under /debug/pprof/ — see
+// docs/SERVING.md before enabling this outside a trusted network.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -71,6 +76,7 @@ func main() {
 	jobsQuota := flag.Int("jobs-quota", 8, "job API: per-tenant cap on queued plus running jobs")
 	jobsMaxQueue := flag.Int("jobs-max-queue", 64, "job API: global cap on queued jobs")
 	jobsCkptEvery := flag.Int("jobs-checkpoint-every", 25, "job API: snapshot each running search every N steps")
+	pprofEnabled := flag.Bool("pprof", false, "HTTP mode: mount net/http/pprof profiling handlers under /debug/pprof/ (off by default; enable only on trusted networks)")
 	flag.Parse()
 
 	if *p99 <= 0 {
@@ -131,7 +137,10 @@ func main() {
 			// on the same -jobs-dir resumes them.
 			cfg.OnDrain = svc.Drain
 		}
-		srv := newServer(*listen, reg, chip, svc, cfg)
+		if *pprofEnabled {
+			log.Printf("pprof: profiling handlers mounted at /debug/pprof/")
+		}
+		srv := newServer(*listen, reg, chip, svc, cfg, *pprofEnabled)
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		// A graceful shutdown (including http.ErrServerClosed from the
@@ -182,8 +191,10 @@ func main() {
 // newMux builds the service routes. Health endpoints are not here: the
 // hardened server registers /healthz and /readyz itself, outside
 // admission control, so probes keep answering while the server sheds.
-// A non-nil jobs service mounts the job API alongside /simulate.
-func newMux(reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service) *http.ServeMux {
+// A non-nil jobs service mounts the job API alongside /simulate. The
+// pprof handlers are opt-in (-pprof): they expose goroutine stacks and
+// heap contents, so the default surface never serves them.
+func newMux(reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service, withPprof bool) *http.ServeMux {
 	simLatency := reg.Histogram("http_simulate_seconds")
 
 	mux := http.NewServeMux()
@@ -243,12 +254,19 @@ func newMux(reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service) *h
 	if svc != nil {
 		svc.Mount(mux)
 	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 
 // newServer wraps the service routes in the hardening stack.
-func newServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service, cfg httpserve.Config) *httpserve.Server {
-	return httpserve.New(addr, newMux(reg, defaultChip, svc), cfg)
+func newServer(addr string, reg *metrics.Registry, defaultChip hwsim.Chip, svc *jobs.Service, cfg httpserve.Config, withPprof bool) *httpserve.Server {
+	return httpserve.New(addr, newMux(reg, defaultChip, svc, withPprof), cfg)
 }
 
 // builderFor resolves a model name to a batch-parametric graph builder.

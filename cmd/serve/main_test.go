@@ -24,7 +24,7 @@ func testHandler(t *testing.T) (http.Handler, *metrics.Registry) {
 	if !ok {
 		t.Fatal("tpuv4i chip missing")
 	}
-	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg})
+	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg}, false)
 	srv.Health().SetReady(true)
 	return srv.Handler(), reg
 }
@@ -165,7 +165,7 @@ func TestMetricsContentTypes(t *testing.T) {
 func TestHealthzVersusReadyzDuringDrain(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg})
+	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg}, false)
 	h := srv.Handler()
 
 	// Before startup completes: alive but not ready.
@@ -198,7 +198,7 @@ func TestHealthzVersusReadyzDuringDrain(t *testing.T) {
 func TestLoadShedWhenSaturated(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	mux := newMux(reg, chip, nil)
+	mux := newMux(reg, chip, nil, false)
 	entered := make(chan struct{}, 8)
 	release := make(chan struct{})
 	mux.HandleFunc("/block", func(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +257,7 @@ func TestJobsAPIThroughHardenedServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	srv := newServer("127.0.0.1:0", reg, chip, svc, httpserve.Config{Metrics: reg, OnDrain: svc.Drain})
+	srv := newServer("127.0.0.1:0", reg, chip, svc, httpserve.Config{Metrics: reg, OnDrain: svc.Drain}, false)
 	srv.Health().SetReady(true)
 	h := srv.Handler()
 
@@ -313,7 +313,7 @@ func TestJobsAPIThroughHardenedServer(t *testing.T) {
 func TestPanicRecoveryReturns500(t *testing.T) {
 	reg := metrics.New()
 	chip, _ := hwsim.ChipByName("tpuv4i")
-	mux := newMux(reg, chip, nil)
+	mux := newMux(reg, chip, nil, false)
 	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {
 		panic("handler bug")
 	})
@@ -331,5 +331,26 @@ func TestPanicRecoveryReturns500(t *testing.T) {
 	// The server survives the panic.
 	if rec := get(h, "/simulate?model=dlrm"); rec.Code != http.StatusOK {
 		t.Fatalf("simulate after panic: %d, want 200", rec.Code)
+	}
+}
+
+// TestPprofMountIsOptIn pins the profiling surface's gate: without
+// -pprof the /debug/pprof/ routes must not exist at all, and with it
+// the index must answer through the hardened stack.
+func TestPprofMountIsOptIn(t *testing.T) {
+	chip, _ := hwsim.ChipByName("tpuv4i")
+
+	reg := metrics.New()
+	srv := newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg}, false)
+	srv.Health().SetReady(true)
+	if rec := get(srv.Handler(), "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof = %d, want 404", rec.Code)
+	}
+
+	reg = metrics.New()
+	srv = newServer("127.0.0.1:0", reg, chip, nil, httpserve.Config{Metrics: reg}, true)
+	srv.Health().SetReady(true)
+	if rec := get(srv.Handler(), "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with -pprof = %d, want 200", rec.Code)
 	}
 }

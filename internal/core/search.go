@@ -31,6 +31,7 @@ import (
 	"h2onas/internal/metrics"
 	"h2onas/internal/nn"
 	"h2onas/internal/reward"
+	"h2onas/internal/sched"
 	"h2onas/internal/space"
 	"h2onas/internal/supernet"
 	"h2onas/internal/tensor"
@@ -52,6 +53,16 @@ type Config struct {
 	// Shards is the number of parallel accelerator shards. Each samples
 	// its own candidate per step.
 	Shards int
+	// Workers is the search's total core budget, partitioned across the
+	// shard workers by sched.New(Workers, Shards): each replica's layer
+	// passes are bounded to its per-shard share, while the spine and the
+	// master's final evaluation — which run in coordinator-exclusive
+	// phases — use the full budget. 0 (the default) uses GOMAXPROCS at
+	// Search time. The budget is a performance knob only: trajectories
+	// are bit-identical for any Workers value, so it is deliberately NOT
+	// part of the checkpoint fingerprint — a run may be resumed under a
+	// different core budget.
+	Workers int
 	// Steps is the number of search steps.
 	Steps int
 	// BatchSize is the per-shard batch size.
@@ -286,9 +297,21 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		replicas[i] = master.Replicate(rng.Split())
 		replicas[i].SetFloat32Activations(cfg.Float32Activations)
 	}
+	// Partition the core budget so shard-level and kernel-level
+	// parallelism stop fighting: each replica's intra-layer fan-out is
+	// bounded to its per-shard share (historically every layer assumed it
+	// owned the whole machine), while the master — which only computes in
+	// coordinator-exclusive phases (final eval) — and the spine get the
+	// full budget. Purely a performance decision; bits never depend on it.
+	budget := sched.New(cfg.Workers, cfg.Shards)
+	master.SetWorkers(budget.Total())
+	for i := range replicas {
+		replicas[i].SetWorkers(budget.PerShard())
+	}
 	strat := StrategyFor(&cfg, s.DS.Space)
 	opt := nn.NewAdam(cfg.WeightLR)
 	spine := nn.NewSpine(master.Params(), opt, 10)
+	spine.SetWorkers(budget.Total())
 	sm := NewSearchMetrics(cfg.Metrics)
 
 	// The transport seam: where the per-shard forward/backward executes.
@@ -334,6 +357,44 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	pipe := datapipe.NewPipelineWithMetrics(s.Stream, cfg.BatchSize, cfg.Shards*2, cfg.Metrics)
 	defer pipe.Close()
 
+	// Batch synthesis is overlapped one step ahead: a prefetch worker
+	// drains the pipeline into one of two buffers while the shards compute
+	// on the other, so synthesis cost hides behind the fan-out instead of
+	// serializing in front of it. Determinism is untouched — the worker is
+	// the pipeline's only consumer during the step loop, so batch order is
+	// exactly the serial order, and the coordinator's RNG is never touched
+	// off the coordinator goroutine.
+	//
+	// `consumed` is the committed consumed-batch frontier for checkpoints:
+	// it counts only batches handed to a step that will run, never the
+	// prefetched-but-unclaimed buffer. A snapshot therefore fast-forwards
+	// a resumed stream to exactly the frontier the uninterrupted run had,
+	// and the batches sitting in a dropped prefetch are re-synthesized —
+	// bit-identically, since synthesis is a pure function of the frontier.
+	consumed := consumedBase
+	totalSteps := cfg.WarmupSteps + cfg.Steps
+	fetchReq := make(chan []*datapipe.Batch, 1)
+	fetchDone := make(chan []*datapipe.Batch, 1)
+	go func() {
+		for buf := range fetchReq {
+			for i := range buf {
+				buf[i] = pipe.Next()
+			}
+			fetchDone <- buf
+		}
+	}()
+	// Registered after pipe.Close's defer, so it runs first: the request
+	// channel closes, then the pipeline closes, unblocking a prefetch
+	// worker mid-Next (it reads nil and parks on the closed range).
+	defer close(fetchReq)
+	nextBuf := make([]*datapipe.Batch, cfg.Shards)
+	if startStep < totalSteps {
+		// Never prefetch past the last step: the 16 FinalQuality batches
+		// are drawn directly after the loop, and a buffered-but-unused
+		// prefetch would shift them.
+		fetchReq <- make([]*datapipe.Batch, cfg.Shards)
+	}
+
 	// Each replica gets its own arena so a steady-state step performs no
 	// matrix allocations: intermediates are recycled at the top of every
 	// Forward. One arena per shard because arenas are single-goroutine.
@@ -368,7 +429,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 
 	assignments := make([]space.Assignment, cfg.Shards)
 	qualities := make([]float64, cfg.Shards)
-	batches := make([]*datapipe.Batch, cfg.Shards)
+	var batches []*datapipe.Batch
 	outcomes := make([]ShardOutcome, cfg.Shards)
 	alive := make([]bool, cfg.Shards)
 	// liveParams collects the surviving replicas' param lists for the
@@ -400,17 +461,19 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 	defer close(spineWork)
 
 	maxA := MaxAssignment(s.DS.Space)
-	for step := startStep; step < cfg.WarmupSteps+cfg.Steps; step++ {
+	for step := startStep; step < totalSteps; step++ {
 		select {
 		case <-cfg.Stop:
 			// Cooperative cancellation at a step boundary: every piece of
 			// state is settled (the previous step's spine join already
 			// happened), so the snapshot taken here resumes bit-identically.
+			// The in-flight prefetch is simply dropped — `consumed` does
+			// not include it, so a resume re-synthesizes those batches.
 			// The deferred ckpt.Close drains the persister, making the
 			// snapshot durable before Search returns.
 			sm.StepsStopped.Inc()
 			if mgr != nil {
-				ckpt.enqueue(s.snapshot(&cfg, membership, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History))
+				ckpt.enqueue(s.snapshot(&cfg, membership, step, consumed, rng, strat, master, opt, res.History))
 			}
 			return res, ErrStopped
 		default:
@@ -443,8 +506,18 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			} else {
 				assignments[i] = strat.Sample(rng, warmup)
 			}
-			batches[i] = pipe.Next()
 		}
+		// Claim the prefetched batches for this step and immediately kick
+		// off synthesis for the next one, reusing the buffer the previous
+		// step just finished with. The claim commits the batches: from
+		// here the step runs to completion (Stop is only honored at the
+		// step boundary above), so the frontier advances now.
+		batches = <-fetchDone
+		consumed += int64(cfg.Shards)
+		if step+1 < totalSteps {
+			fetchReq <- nextBuf
+		}
+		nextBuf = batches
 		sampleSpan.End()
 
 		fanoutSpan := sm.FanoutTime.Start()
@@ -477,7 +550,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 			// Degrade by skipping the updates rather than killing the run.
 			sm.StepsSkipped.Inc()
 			stepSpan.End()
-			s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History)
+			s.maybeCheckpoint(&cfg, membership, ckpt, step, consumed, rng, strat, master, opt, res.History)
 			continue
 		}
 
@@ -550,7 +623,7 @@ func (s *Searcher) Search(cfg Config) (*Result, error) {
 		}
 		stepSpan.End()
 
-		s.maybeCheckpoint(&cfg, membership, ckpt, step, consumedBase+pipe.BatchesConsumed(), rng, strat, master, opt, res.History)
+		s.maybeCheckpoint(&cfg, membership, ckpt, step, consumed, rng, strat, master, opt, res.History)
 	}
 
 	res.Best = strat.Best()

@@ -39,6 +39,15 @@ func (l *MaskedAttention) SetArena(a *tensor.Arena) {
 	l.Wq.Arena, l.Wk.Arena, l.Wv.Arena, l.Wo.Arena = a, a, a, a
 }
 
+// SetWorkers bounds the parallelism of the four projection layers under
+// the owning search's core budget (see internal/sched). The attention
+// core (scores, softmax, context) stays serial: its per-(batch, head)
+// scratch comes from the single-threaded arena, and its accumulation
+// loops interleave reads and read-modify-writes across rows.
+func (l *MaskedAttention) SetWorkers(n int) {
+	l.Wq.Workers, l.Wk.Workers, l.Wv.Workers, l.Wo.Workers = n, n, n, n
+}
+
 // NewMaskedAttention returns an attention slot for up to maxDim hidden
 // features.
 func NewMaskedAttention(maxDim int, rng *tensor.RNG) *MaskedAttention {

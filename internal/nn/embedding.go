@@ -22,9 +22,19 @@ type Embedding struct {
 	// next Release); nil falls back to heap allocation.
 	Arena *tensor.Arena
 
+	// Workers bounds the parallelism of Forward under the owning search's
+	// core budget (see internal/sched). 0 or 1 — the default — keeps the
+	// historical serial loop. Backward is serial at any setting: bags
+	// scatter into shared table rows (two examples can look up the same
+	// id) and MarkRow's dedup state is not thread-safe.
+	Workers int
+
 	activeWidth int
 	activeVocab int
 	lastIndices [][]int
+
+	fwdOut *tensor.Matrix
+	fwdFn  func(lo, hi int)
 }
 
 // NewEmbedding returns a vocab×maxWidth table initialized N(0, 1/√maxWidth).
@@ -68,7 +78,34 @@ func (e *Embedding) Active() (width, vocab int) { return e.activeWidth, e.active
 func (e *Embedding) Forward(indices [][]int) *tensor.Matrix {
 	e.lastIndices = indices
 	out := e.Arena.Get(len(indices), e.activeWidth)
-	for i, bag := range indices {
+	lookups := 0
+	for _, bag := range indices {
+		lookups += len(bag)
+	}
+	if w := layerWorkers(lookups*e.activeWidth, e.Workers); w > 1 {
+		// Batch rows are the parallel axis: each pooled output row is
+		// written by exactly one worker, reading the shared table, with
+		// the bag accumulated in the serial order — bit-identical for any
+		// fan-out.
+		if e.fwdFn == nil {
+			e.fwdFn = func(lo, hi int) { e.forwardRows(lo, hi) }
+		}
+		e.fwdOut = out
+		tensor.ParallelFor(len(indices), w, e.fwdFn)
+		e.fwdOut = nil
+	} else {
+		e.fwdOut = out
+		e.forwardRows(0, len(indices))
+		e.fwdOut = nil
+	}
+	return out
+}
+
+// forwardRows mean-pools bags [lo, hi) into the matching output rows.
+func (e *Embedding) forwardRows(lo, hi int) {
+	out := e.fwdOut
+	for i := lo; i < hi; i++ {
+		bag := e.lastIndices[i]
 		if len(bag) == 0 {
 			continue
 		}
@@ -78,12 +115,13 @@ func (e *Embedding) Forward(indices [][]int) *tensor.Matrix {
 			tensor.Axpy(orow, inv, e.Table.Value.Row(e.fold(idx)))
 		}
 	}
-	return out
 }
 
 // Backward scatters the pooled gradient back onto the active columns of the
 // looked-up rows. There is no input gradient (indices are not
-// differentiable).
+// differentiable). The scatter stays serial regardless of Workers: bags
+// from different examples can hit the same table row (a write collision),
+// and MarkRow's dedup bookkeeping is single-threaded by design.
 func (e *Embedding) Backward(grad *tensor.Matrix) {
 	if e.lastIndices == nil {
 		panic("nn: Embedding.Backward before Forward")

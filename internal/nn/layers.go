@@ -101,6 +101,20 @@ func (p *Param) ZeroGrad() {
 	p.Dirty = false
 }
 
+// layerWorkers returns the fan-out for a layer loop of work multiply-adds
+// under the layer's workers budget: 1 — the historical serial path — when
+// the budget is absent or 1, otherwise the grain-scaled worker count
+// (tensor.WorkersFor), so small shapes stay serial even under a large
+// budget. The budget is a performance knob only: every parallel layer
+// path partitions disjoint output state and preserves the serial
+// per-element accumulation order, so the worker count never changes bits.
+func layerWorkers(work, budget int) int {
+	if budget <= 1 {
+		return 1
+	}
+	return tensor.WorkersFor(work, budget)
+}
+
 // Layer is one differentiable stage. Forward caches what Backward needs;
 // Backward accumulates parameter gradients (into Params' Grad) and returns
 // the gradient with respect to the layer input.
@@ -114,6 +128,12 @@ type Layer interface {
 type Dense struct {
 	W *Param // in×out
 	B *Param // 1×out
+
+	// Workers bounds the parallelism of the layer's matmul kernels under
+	// the owning search's core budget (see internal/sched). 0 keeps the
+	// kernels' default dispatch (the shared-pool width); any positive
+	// value caps the fan-out. Bits never depend on the setting.
+	Workers int
 
 	input *tensor.Matrix
 }
@@ -129,7 +149,8 @@ func NewDense(in, out int, rng *tensor.RNG) *Dense {
 // Forward computes x·W + b.
 func (l *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	l.input = x
-	y := tensor.MatMul(x, l.W.Value)
+	y := tensor.New(x.Rows, l.W.Value.Cols)
+	tensor.MatMulIntoN(x, l.W.Value, y, l.Workers)
 	tensor.AddRowVector(y, l.B.Value)
 	return y
 }
@@ -140,10 +161,14 @@ func (l *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.input == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	tensor.AddInPlace(l.W.Grad, tensor.MatMulTransA(l.input, grad))
+	dw := tensor.New(l.W.Grad.Rows, l.W.Grad.Cols)
+	tensor.MatMulTransAIntoN(l.input, grad, dw, l.Workers)
+	tensor.AddInPlace(l.W.Grad, dw)
 	tensor.AddInPlace(l.B.Grad, tensor.ColSums(grad))
 	l.W.Dirty, l.B.Dirty = true, true
-	return tensor.MatMulTransB(grad, l.W.Value)
+	dx := tensor.New(grad.Rows, l.W.Value.Rows)
+	tensor.MatMulTransBIntoN(grad, l.W.Value, dx, l.Workers)
+	return dx
 }
 
 // Params returns the weight and bias parameters.
@@ -163,9 +188,24 @@ type MaskedDense struct {
 	// heap allocation.
 	Arena *tensor.Arena
 
+	// Workers bounds the parallelism of the forward and backward passes
+	// under the owning search's core budget (see internal/sched). 0 or 1
+	// — the default — keeps the historical serial loops. Float32 mode
+	// (Forward32/Backward32) stays serial: it runs on shard replicas,
+	// whose per-shard budget share is the narrow one.
+	Workers int
+
 	activeIn, activeOut int
 	input               *tensor.Matrix
 	input32             *tensor.Matrix32 // float32 activation mode (Forward32)
+
+	// Hoisted parallel-dispatch state: the closures are built once and
+	// read their operands from these fields, so steady-state parallel
+	// passes allocate nothing.
+	fwdOut       *tensor.Matrix
+	fwdFn        func(lo, hi int)
+	bwGrad, bwDx *tensor.Matrix
+	bwFn         func(lo, hi int)
 }
 
 // NewMaskedDense returns a super-network dense layer sized for the largest
@@ -199,7 +239,25 @@ func (l *MaskedDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.input = x
 	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
-	for i := 0; i < x.Rows; i++ {
+	if w := layerWorkers(x.Rows*l.activeIn*l.activeOut, l.Workers); w > 1 {
+		if l.fwdFn == nil {
+			l.fwdFn = func(lo, hi int) { l.forwardRows(l.input, l.fwdOut, lo, hi) }
+		}
+		l.fwdOut = out
+		tensor.ParallelFor(x.Rows, w, l.fwdFn)
+		l.fwdOut = nil
+	} else {
+		l.forwardRows(x, out, 0, x.Rows)
+	}
+	return out
+}
+
+// forwardRows computes output rows [lo, hi). Batch rows are the parallel
+// axis: each output row is written by exactly one worker and accumulates
+// its k contributions in the same ascending order as the serial loop, so
+// any row partition is bit-identical to the serial pass.
+func (l *MaskedDense) forwardRows(x, out *tensor.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xrow := x.Row(i)
 		orow := out.Row(i)
 		copy(orow, l.B.Value.Data[:l.activeOut])
@@ -211,11 +269,15 @@ func (l *MaskedDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			tensor.Axpy(orow, xv, l.W.Value.Row(k))
 		}
 	}
-	return out
 }
 
 // Backward accumulates gradients for the active sub-matrix only and
-// returns dX (batch×activeIn).
+// returns dX (batch×activeIn). The parallel axis is W rows, not batch
+// rows: every batch row accumulates into the same W.Grad rows, so a
+// batch partition would race, while worker k' owning W rows [lo, hi)
+// touches only those gradient rows and the matching dX columns — and
+// each W.Grad row still receives its batch contributions in ascending
+// batch order, the serial order. The bias sum stays a serial pass.
 func (l *MaskedDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if l.input == nil {
 		panic("nn: MaskedDense.Backward before Forward")
@@ -225,17 +287,40 @@ func (l *MaskedDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	}
 	x := l.input
 	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
-	for i := 0; i < x.Rows; i++ {
-		grow := grad.Row(i)
-		xrow := x.Row(i)
-		dxrow := dx.Row(i)
-		for k := 0; k < l.activeIn; k++ {
-			dxrow[k] = tensor.FusedAxpyDot(grow, l.W.Value.Row(k), l.W.Grad.Row(k), xrow[k])
+	if w := layerWorkers(x.Rows*l.activeIn*l.activeOut, l.Workers); w > 1 {
+		if l.bwFn == nil {
+			l.bwFn = func(lo, hi int) { l.backwardWRows(l.bwGrad, l.bwDx, lo, hi) }
 		}
-		tensor.Axpy(l.B.Grad.Data[:l.activeOut], 1, grow)
+		l.bwGrad, l.bwDx = grad, dx
+		tensor.ParallelFor(l.activeIn, w, l.bwFn)
+		l.bwGrad, l.bwDx = nil, nil
+	} else {
+		l.backwardWRows(grad, dx, 0, l.activeIn)
+	}
+	gd, gcols := grad.Data, grad.Cols
+	nOut := l.activeOut
+	bg := l.B.Grad.Data[:nOut]
+	for i := 0; i < x.Rows; i++ {
+		tensor.Axpy(bg, 1, gd[i*gcols:i*gcols+nOut])
 	}
 	l.W.Dirty, l.B.Dirty = true, true
 	return dx
+}
+
+// backwardWRows runs the fused dW accumulate + dX dot for W rows
+// [lo, hi) across the whole batch: for each owned k, W.Grad.Row(k) takes
+// its batch contributions in ascending batch order and dX column k gets
+// one write per batch row — the same per-element order and writes as the
+// historical batch-outer loop, just transposed, so bits never move.
+func (l *MaskedDense) backwardWRows(grad, dx *tensor.Matrix, lo, hi int) {
+	x := l.input
+	for k := lo; k < hi; k++ {
+		w := l.W.Value.Row(k)
+		gw := l.W.Grad.Row(k)
+		for i := 0; i < x.Rows; i++ {
+			dx.Row(i)[k] = tensor.FusedAxpyDot(grad.Row(i), w, gw, x.Row(i)[k])
+		}
+	}
 }
 
 // Params returns the full super-network weight and bias parameters.
@@ -256,10 +341,24 @@ type LowRankDense struct {
 	// release the arena only between full forward/backward passes).
 	Arena *tensor.Arena
 
+	// Workers bounds the parallelism of the forward and backward passes
+	// under the owning search's core budget (see internal/sched). 0 or 1
+	// — the default — keeps the historical serial loops. Float32 mode
+	// (Forward32/Backward32) stays serial: it runs on shard replicas,
+	// whose per-shard budget share is the narrow one.
+	Workers int
+
 	activeIn, activeOut, activeRank int
 	input, hidden                   *tensor.Matrix
 	input32, hidden32               *tensor.Matrix32 // float32 activation mode (Forward32)
 	reluInput                       bool
+
+	// Hoisted parallel-dispatch state (see MaskedDense): closures built
+	// once, operands published through fields, zero steady-state allocs.
+	fwdOut                *tensor.Matrix
+	fwdHiddenFn, fwdOutFn func(lo, hi int)
+	bwGrad, bwDh, bwDx    *tensor.Matrix
+	bwVFn, bwUFn          func(lo, hi int)
 }
 
 // SetReLUInput declares that the layer's input is the direct output of a
@@ -319,20 +418,50 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.input = x
 	h := l.Arena.Get(x.Rows, l.activeRank)
+	l.hidden = h
 	// Both products are blocked factor-row-outer, batch-row-inner so each
 	// factor row stays cache-hot across the batch instead of the whole
 	// factor being re-streamed per example (see Backward). Each output
 	// element still accumulates its k contributions in ascending order,
 	// and the zero-input skip is decided per (i,k) either way, so the
-	// result is bit-identical to the batch-outer form.
+	// result is bit-identical to the batch-outer form. Batch rows are the
+	// parallel axis: a worker owns a contiguous row range and runs the
+	// same k-outer blocking over it, so every output element keeps the
+	// serial accumulation order under any fan-out.
+	rows := x.Rows
+	if w := layerWorkers(rows*l.activeIn*l.activeRank, l.Workers); w > 1 {
+		if l.fwdHiddenFn == nil {
+			l.fwdHiddenFn = func(lo, hi int) { l.forwardHiddenRows(lo, hi) }
+		}
+		tensor.ParallelFor(rows, w, l.fwdHiddenFn)
+	} else {
+		l.forwardHiddenRows(0, rows)
+	}
+	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
+	l.fwdOut = out
+	if w := layerWorkers(rows*l.activeRank*l.activeOut, l.Workers); w > 1 {
+		if l.fwdOutFn == nil {
+			l.fwdOutFn = func(lo, hi int) { l.forwardOutRows(lo, hi) }
+		}
+		tensor.ParallelFor(rows, w, l.fwdOutFn)
+	} else {
+		l.forwardOutRows(0, rows)
+	}
+	l.fwdOut = nil
+	return out
+}
+
+// forwardHiddenRows computes hidden rows [lo, hi) of the first factor
+// product h = x·U over the active sub-factors.
+func (l *LowRankDense) forwardHiddenRows(lo, hi int) {
+	x, h := l.input, l.hidden
 	uv, ucols := l.U.Value.Data, l.U.Value.Cols
 	xd, xcols := x.Data, x.Cols
 	hd, hcols := h.Data, h.Cols
 	nRank := l.activeRank
-	rows := x.Rows
 	for k := 0; k < l.activeIn; k++ {
 		w := uv[k*ucols : k*ucols+nRank]
-		for i := 0; i < rows; i++ {
+		for i := lo; i < hi; i++ {
 			xv := xd[i*xcols+k]
 			if xv == 0 {
 				continue
@@ -340,18 +469,23 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			tensor.Axpy(hd[i*hcols:i*hcols+nRank], xv, w)
 		}
 	}
-	l.hidden = h
-	out := l.Arena.GetNoZero(x.Rows, l.activeOut)
-	nOut := l.activeOut
-	vv, vcols := l.V.Value.Data, l.V.Value.Cols
+}
+
+// forwardOutRows computes output rows [lo, hi) of the second factor
+// product out = h·V + b.
+func (l *LowRankDense) forwardOutRows(lo, hi int) {
+	h, out := l.hidden, l.fwdOut
+	hd, hcols := h.Data, h.Cols
 	od, ocols := out.Data, out.Cols
+	nOut, nRank := l.activeOut, l.activeRank
+	vv, vcols := l.V.Value.Data, l.V.Value.Cols
 	bias := l.B.Value.Data[:nOut]
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		copy(od[i*ocols:i*ocols+nOut], bias)
 	}
 	for k := 0; k < nRank; k++ {
 		w := vv[k*vcols : k*vcols+nOut]
-		for i := 0; i < rows; i++ {
+		for i := lo; i < hi; i++ {
 			hv := hd[i*hcols+k]
 			if hv == 0 {
 				continue
@@ -359,7 +493,6 @@ func (l *LowRankDense) Forward(x *tensor.Matrix) *tensor.Matrix {
 			tensor.Axpy(od[i*ocols:i*ocols+nOut], hv, w)
 		}
 	}
-	return out
 }
 
 // Backward accumulates gradients for the active sub-factors and returns dX.
@@ -370,8 +503,9 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if grad.Cols != l.activeOut {
 		panic(fmt.Sprintf("nn: LowRankDense grad width %d != active out %d", grad.Cols, l.activeOut))
 	}
-	x, h := l.input, l.hidden
-	dh := l.Arena.GetNoZero(x.Rows, l.activeRank)
+	x := l.input
+	rows := x.Rows
+	dh := l.Arena.GetNoZero(rows, l.activeRank)
 	// Both passes below are blocked factor-row-outer, batch-row-inner: the
 	// old batch-outer order re-streamed both factor matrices (value and
 	// gradient) from memory once per example, which made the backward pass
@@ -381,38 +515,85 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	// dW-row update + dX dot), whose accumulation order is the fixed
 	// reference order — and which the h2ofast build vectorizes — so
 	// results are bit-identical to the unblocked form on every backend.
+	//
+	// Factor rows are also the parallel axis: worker k-range [lo, hi)
+	// owns gradient rows [lo, hi) of the factor and the matching dh/dx
+	// columns, all disjoint, and each gradient row still takes its batch
+	// contributions in ascending batch order. MarkRow mutates shared
+	// dedup state, so rows are marked in a serial pre-pass — the same
+	// ascending order the serial loop marks them in.
+	for k := 0; k < l.activeRank; k++ {
+		l.V.MarkRow(k)
+	}
+	l.bwGrad, l.bwDh = grad, dh
+	if w := layerWorkers(rows*l.activeRank*l.activeOut, l.Workers); w > 1 {
+		if l.bwVFn == nil {
+			l.bwVFn = func(lo, hi int) { l.backVRows(lo, hi) }
+		}
+		tensor.ParallelFor(l.activeRank, w, l.bwVFn)
+	} else {
+		l.backVRows(0, l.activeRank)
+	}
+	gd, gcols := grad.Data, grad.Cols
+	nOut := l.activeOut
+	for i := 0; i < rows; i++ {
+		tensor.Axpy(l.B.Grad.Data[:nOut], 1, gd[i*gcols:i*gcols+nOut])
+	}
+	dx := l.Arena.GetNoZero(rows, l.activeIn)
+	l.bwDx = dx
+	for k := 0; k < l.activeIn; k++ {
+		l.U.MarkRow(k)
+	}
+	if w := layerWorkers(rows*l.activeIn*l.activeRank, l.Workers); w > 1 {
+		if l.bwUFn == nil {
+			l.bwUFn = func(lo, hi int) { l.backURows(lo, hi) }
+		}
+		tensor.ParallelFor(l.activeIn, w, l.bwUFn)
+	} else {
+		l.backURows(0, l.activeIn)
+	}
+	l.bwGrad, l.bwDh, l.bwDx = nil, nil, nil
+	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true
+	return dx
+}
+
+// backVRows runs the V-factor stage for factor rows [lo, hi): dV rows,
+// and the matching dh columns, across the whole batch.
+func (l *LowRankDense) backVRows(lo, hi int) {
+	grad, h, dh := l.bwGrad, l.hidden, l.bwDh
 	vv, vg := l.V.Value.Data, l.V.Grad.Data
 	gd, hd, dhd := grad.Data, h.Data, dh.Data
 	gcols, hcols, dhcols := grad.Cols, h.Cols, dh.Cols
 	vcols := l.V.Value.Cols
 	nOut := l.activeOut
-	rows := x.Rows
-	for k := 0; k < l.activeRank; k++ {
+	rows := grad.Rows
+	for k := lo; k < hi; k++ {
 		base := k * vcols
 		w := vv[base : base+nOut]
 		gw := vg[base : base+nOut]
-		l.V.MarkRow(k)
 		for i := 0; i < rows; i++ {
 			grow := gd[i*gcols : i*gcols+nOut]
 			hv := hd[i*hcols+k]
 			dhd[i*dhcols+k] = tensor.FusedAxpyDot(grow, w, gw, hv)
 		}
 	}
-	for i := 0; i < rows; i++ {
-		tensor.Axpy(l.B.Grad.Data[:nOut], 1, gd[i*gcols:i*gcols+nOut])
-	}
-	dx := l.Arena.GetNoZero(x.Rows, l.activeIn)
+}
+
+// backURows runs the U-factor stage for factor rows [lo, hi): dU rows,
+// and the matching dx columns, across the whole batch.
+func (l *LowRankDense) backURows(lo, hi int) {
+	x, dh, dx := l.input, l.bwDh, l.bwDx
 	uv, ug := l.U.Value.Data, l.U.Grad.Data
-	xd, dxd := x.Data, dx.Data
-	xcols, dxcols := x.Cols, dx.Cols
+	xd, dhd, dxd := x.Data, dh.Data, dx.Data
+	xcols, dhcols, dxcols := x.Cols, dh.Cols, dx.Cols
 	ucols := l.U.Value.Cols
 	nRank := l.activeRank
 	reluIn := l.reluInput
-	for k := 0; k < l.activeIn; k++ {
+	rows := x.Rows
+	for k := lo; k < hi; k++ {
 		base := k * ucols
 		w := uv[base : base+nRank]
 		gw := ug[base : base+nRank]
-		l.U.MarkRow(k)
 		for i := 0; i < rows; i++ {
 			xv := xd[i*xcols+k]
 			if xv == 0 && reluIn {
@@ -436,8 +617,6 @@ func (l *LowRankDense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			dxd[i*dxcols+k] = tensor.FusedAxpyDot(dhrow, w, gw, xv)
 		}
 	}
-	l.U.Dirty, l.V.Dirty, l.B.Dirty = true, true, true
-	return dx
 }
 
 // Params returns both factors and the bias.

@@ -337,6 +337,19 @@ func (s *Spine) ClipStep() float64 {
 	return norm
 }
 
+// SetWorkers bounds the parallelism of every spine pass (reduce, norm,
+// fused apply). Values below 1 clamp to 1 (fully serial). The bound is a
+// performance knob only: every pass is bit-identical for any worker
+// count, so changing it never changes a trajectory. The search loop sets
+// it to the full core budget — the spine runs in the coordinator-
+// exclusive stage-3 window, when no shard worker is computing.
+func (s *Spine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
 // SetRecordTouched toggles touched-param recording. When on, each
 // ClipStep records which params (and which rows, for row-sparse params)
 // it stepped, retrievable via Touched until the next ClipStep. Distributed

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"h2onas/internal/tensor"
+)
+
+// The Workers budget on a layer is a performance knob only: every
+// parallel path must produce bit-identical outputs, input gradients,
+// parameter gradients and dirty-row worklists for any worker count. The
+// shapes below are chosen to cross the tensor.WorkersFor grain so the
+// parallel paths genuinely dispatch instead of falling back to serial.
+
+func matBitEqual(t *testing.T, name string, got, want *tensor.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMaskedDenseWorkersBitIdentical(t *testing.T) {
+	const rows, maxIn, maxOut = 128, 96, 96
+	x := tensor.RandN(rows, maxIn, 1, tensor.NewRNG(11))
+	g := tensor.RandN(rows, maxOut, 1, tensor.NewRNG(12))
+	// Exact zeros exercise the forward zero-skip.
+	for i := 0; i < len(x.Data); i += 7 {
+		x.Data[i] = 0
+	}
+
+	run := func(workers, in, out int) (*tensor.Matrix, *tensor.Matrix, *MaskedDense) {
+		l := NewMaskedDense(maxIn, maxOut, tensor.NewRNG(13))
+		l.Workers = workers
+		l.SetActive(in, out)
+		xin := tensor.New(rows, in)
+		for r := 0; r < rows; r++ {
+			copy(xin.Row(r), x.Row(r)[:in])
+		}
+		gin := tensor.New(rows, out)
+		for r := 0; r < rows; r++ {
+			copy(gin.Row(r), g.Row(r)[:out])
+		}
+		y := l.Forward(xin)
+		dx := l.Backward(gin)
+		return y, dx, l
+	}
+
+	for _, active := range [][2]int{{maxIn, maxOut}, {64, 80}} {
+		in, out := active[0], active[1]
+		wantY, wantDx, wantL := run(1, in, out)
+		for _, workers := range []int{0, 2, 3, 5, 16} {
+			y, dx, l := run(workers, in, out)
+			matBitEqual(t, "MaskedDense.Forward", y, wantY)
+			matBitEqual(t, "MaskedDense dX", dx, wantDx)
+			matBitEqual(t, "MaskedDense dW", l.W.Grad, wantL.W.Grad)
+			matBitEqual(t, "MaskedDense dB", l.B.Grad, wantL.B.Grad)
+		}
+	}
+}
+
+func TestLowRankDenseWorkersBitIdentical(t *testing.T) {
+	const rows, maxIn, maxOut, maxRank = 96, 128, 128, 64
+	x := tensor.RandN(rows, maxIn, 1, tensor.NewRNG(21))
+	g := tensor.RandN(rows, maxOut, 1, tensor.NewRNG(22))
+	// ReLU-style exact zeros: the backward pass has dedicated skip paths.
+	for i := 0; i < len(x.Data); i += 5 {
+		x.Data[i] = 0
+	}
+
+	run := func(workers int, relu bool) (*tensor.Matrix, *tensor.Matrix, *LowRankDense) {
+		l := NewLowRankDense(maxIn, maxOut, maxRank, tensor.NewRNG(23))
+		l.Workers = workers
+		l.SetReLUInput(relu)
+		y := l.Forward(x)
+		dx := l.Backward(g)
+		return y, dx, l
+	}
+
+	for _, relu := range []bool{false, true} {
+		wantY, wantDx, wantL := run(1, relu)
+		for _, workers := range []int{0, 2, 3, 5, 16} {
+			y, dx, l := run(workers, relu)
+			matBitEqual(t, "LowRankDense.Forward", y, wantY)
+			matBitEqual(t, "LowRankDense dX", dx, wantDx)
+			matBitEqual(t, "LowRankDense dU", l.U.Grad, wantL.U.Grad)
+			matBitEqual(t, "LowRankDense dV", l.V.Grad, wantL.V.Grad)
+			matBitEqual(t, "LowRankDense dB", l.B.Grad, wantL.B.Grad)
+			// The row-sparse worklists must match exactly, including order:
+			// the spine's row-granular passes walk them in first-write order.
+			for name, pair := range map[string][2]*Param{
+				"U": {l.U, wantL.U}, "V": {l.V, wantL.V},
+			} {
+				gotRows, wantRows := pair[0].DirtyRows, pair[1].DirtyRows
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("%s DirtyRows: %d entries want %d", name, len(gotRows), len(wantRows))
+				}
+				for i := range wantRows {
+					if gotRows[i] != wantRows[i] {
+						t.Fatalf("%s DirtyRows[%d] = %d want %d", name, i, gotRows[i], wantRows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmbeddingWorkersBitIdentical(t *testing.T) {
+	const vocab, width, batch, bag = 500, 64, 128, 32
+	rng := tensor.NewRNG(31)
+	indices := make([][]int, batch)
+	for i := range indices {
+		n := bag
+		if i%9 == 0 {
+			n = 0 // empty bags must still produce zero rows
+		}
+		for j := 0; j < n; j++ {
+			indices[i] = append(indices[i], int(rng.Uint64()%vocab))
+		}
+	}
+	g := tensor.RandN(batch, width, 1, tensor.NewRNG(32))
+
+	run := func(workers int) (*tensor.Matrix, *Embedding) {
+		e := NewEmbedding(vocab, width, tensor.NewRNG(33))
+		e.Workers = workers
+		out := e.Forward(indices)
+		e.Backward(g)
+		return out, e
+	}
+
+	wantOut, wantE := run(1)
+	for _, workers := range []int{0, 2, 3, 5, 16} {
+		out, e := run(workers)
+		matBitEqual(t, "Embedding.Forward", out, wantOut)
+		matBitEqual(t, "Embedding dTable", e.Table.Grad, wantE.Table.Grad)
+	}
+}
+
+// TestSpineSetWorkersBitIdentical pins that the spine's worker bound is
+// also bits-neutral: reduce + clip/step under different worker counts
+// produce identical weights.
+func TestSpineSetWorkersBitIdentical(t *testing.T) {
+	build := func() ([]*Param, [][]*Param) {
+		rng := tensor.NewRNG(41)
+		var master []*Param
+		for i := 0; i < 9; i++ {
+			master = append(master, NewParam("p", tensor.RandN(17, 13, 1, rng)))
+		}
+		var reps [][]*Param
+		for r := 0; r < 3; r++ {
+			var rep []*Param
+			for i := 0; i < 9; i++ {
+				p := NewParam("p", tensor.New(17, 13))
+				p.Value = master[i].Value
+				p.Grad = tensor.RandN(17, 13, 1, rng)
+				p.Dirty = true
+				rep = append(rep, p)
+			}
+			reps = append(reps, rep)
+		}
+		return master, reps
+	}
+
+	run := func(workers int) []*Param {
+		master, reps := build()
+		s := NewSpine(master, NewAdam(0.01), 10)
+		s.SetWorkers(workers)
+		s.Reduce(reps)
+		s.ClipStep()
+		return master
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 3, 7} {
+		got := run(workers)
+		for i := range want {
+			matBitEqual(t, "spine weights", got[i].Value, want[i].Value)
+		}
+	}
+}

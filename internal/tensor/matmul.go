@@ -2,10 +2,14 @@ package tensor
 
 import "fmt"
 
-// parallelThreshold is the number of multiply-adds below which the matmul
-// kernels run single-threaded; worker fan-out costs more than it saves on
-// small products.
-const parallelThreshold = 1 << 18
+// The matmul kernels dispatch through WorkersFor (pool.go): a kernel of
+// W multiply-adds gets min(budget, W/parallelGrain) workers, so small
+// products run single-threaded (fan-out costs more than it saves), big
+// ones scale with their size, and the per-call workers budget — threaded
+// down from the search's core-budget scheduler — caps the fan-out so
+// concurrent shard workers stop oversubscribing the machine. The
+// historical static parallelThreshold (serial below 1<<18 multiply-adds)
+// is exactly the budget-aware policy's serial region.
 
 // Cache-blocking parameters for the large-shape matmul paths, derived
 // from the host cache model and the hwsim roofline in internal/tensor/tune
@@ -55,18 +59,27 @@ func MatMul(a, b *Matrix) *Matrix {
 // output row and the b row contiguously, shards output rows across the
 // persistent worker pool for large products, and switches to a
 // cache-blocked sweep (bit-identical; see blockK) when b outgrows L2.
-func MatMulInto(a, b, out *Matrix) {
+// The fan-out uses the shared pool's full width; MatMulIntoN takes an
+// explicit workers budget.
+func MatMulInto(a, b, out *Matrix) { MatMulIntoN(a, b, out, 0) }
+
+// MatMulIntoN is MatMulInto under an explicit workers budget: at most
+// workers pool workers are used for the row fan-out (<= 0 means the
+// shared pool's width). Results are bit-identical for every budget —
+// output rows are computed independently, so chunk boundaries cannot
+// change any bit.
+func MatMulIntoN(a, b, out *Matrix, workers int) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulInto output %dx%d != %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+		panic(fmt.Sprintf("tensor: MatMulIntoN output %dx%d != %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	if work := a.Rows * a.Cols * b.Cols; work < parallelThreshold {
+	if w := WorkersFor(a.Rows*a.Cols*b.Cols, workers); w <= 1 {
 		matmulRows(a, b, out, 0, a.Rows)
-		return
+	} else {
+		sharedPool().run(a.Rows, opMatMul, a, b, out, w)
 	}
-	sharedPool().run(a.Rows, opMatMul, a, b, out)
 }
 
 func matmulRows(a, b, out *Matrix, lo, hi int) {
@@ -135,7 +148,11 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 // materializing the transpose; prior contents of out are overwritten.
 // It is the weight-gradient kernel: dW = Xᵀ·dY. out must not alias a
 // or b.
-func MatMulTransAInto(a, b, out *Matrix) {
+func MatMulTransAInto(a, b, out *Matrix) { MatMulTransAIntoN(a, b, out, 0) }
+
+// MatMulTransAIntoN is MatMulTransAInto under an explicit workers budget
+// (<= 0 means the shared pool's width); bit-identical for every budget.
+func MatMulTransAIntoN(a, b, out *Matrix, workers int) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dim mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -145,11 +162,11 @@ func MatMulTransAInto(a, b, out *Matrix) {
 	// out[i][j] = Σ_k a[k][i]·b[k][j]. Accumulate row-by-row of a/b so all
 	// access is contiguous; output rows are partitioned across workers for
 	// large products so no two workers share an output row.
-	if work := a.Rows * a.Cols * b.Cols; work < parallelThreshold {
+	if w := WorkersFor(a.Rows*a.Cols*b.Cols, workers); w <= 1 {
 		transACols(a, b, out, 0, a.Cols)
-		return
+	} else {
+		sharedPool().run(a.Cols, opMatMulTransA, a, b, out, w)
 	}
-	sharedPool().run(a.Cols, opMatMulTransA, a, b, out)
 }
 
 // transACols accumulates output rows [lo,hi) of aᵀ·b (i.e. columns
@@ -221,18 +238,22 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 // materializing the transpose; prior contents of out are overwritten.
 // It is the input-gradient kernel: dX = dY·Wᵀ. out must not alias a
 // or b.
-func MatMulTransBInto(a, b, out *Matrix) {
+func MatMulTransBInto(a, b, out *Matrix) { MatMulTransBIntoN(a, b, out, 0) }
+
+// MatMulTransBIntoN is MatMulTransBInto under an explicit workers budget
+// (<= 0 means the shared pool's width); bit-identical for every budget.
+func MatMulTransBIntoN(a, b, out *Matrix, workers int) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto output %dx%d != %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	if work := a.Rows * a.Cols * b.Rows; work < parallelThreshold {
+	if w := WorkersFor(a.Rows*a.Cols*b.Rows, workers); w <= 1 {
 		transBRows(a, b, out, 0, a.Rows)
-		return
+	} else {
+		sharedPool().run(a.Rows, opMatMulTransB, a, b, out, w)
 	}
-	sharedPool().run(a.Rows, opMatMulTransB, a, b, out)
 }
 
 // transBRows computes output rows [lo,hi) of a·bᵀ as dot products. When b

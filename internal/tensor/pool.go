@@ -229,13 +229,16 @@ func (p *kernelPool) work() {
 	}
 }
 
-// run shards [0,n) across the pool's workers and blocks until every
-// chunk has finished. When the queue is full (all workers busy — e.g.
-// several shards issuing large kernels at once) the submitter runs the
-// chunk inline instead of blocking, so the pool can never deadlock or
-// idle the submitting goroutine.
-func (p *kernelPool) run(n int, op kernelOp, a, b, out *Matrix) {
-	workers := p.workers
+// run shards [0,n) across at most workers pool workers (<= 0 means the
+// pool's full width) and blocks until every chunk has finished. When the
+// queue is full (all workers busy — e.g. several shards issuing large
+// kernels at once) the submitter runs the chunk inline instead of
+// blocking, so the pool can never deadlock or idle the submitting
+// goroutine.
+func (p *kernelPool) run(n int, op kernelOp, a, b, out *Matrix, workers int) {
+	if workers <= 0 || workers > p.workers {
+		workers = p.workers
+	}
 	if workers > n {
 		workers = n
 	}
@@ -313,17 +316,69 @@ func ParallelFor(n, workers int, fn func(lo, hi int)) {
 	wgPool.Put(wg)
 }
 
-var (
-	sharedKernelPool     *kernelPool
-	sharedKernelPoolOnce sync.Once
-)
+var sharedKernel struct {
+	mu   sync.Mutex
+	pool atomic.Pointer[kernelPool]
+}
 
 // sharedPool returns the process-wide kernel pool, started on first use
-// with GOMAXPROCS workers. With a single processor the pool is never
-// consulted: parallel dispatch short-circuits to the inline path.
+// and sized to GOMAXPROCS. Unlike the historical once-sized pool, the
+// size is re-checked on every call: when GOMAXPROCS has changed since
+// the pool was built (benchmarks sweeping core counts, operators tuning
+// a live process), the next dispatch swaps in a pool of the new width
+// instead of forever running at the stale one.
+//
+// The previous pool is abandoned, not stopped: a goroutine that loaded
+// it just before the swap may still be submitting, and closing its task
+// channel (or draining its workers with poison pills) could strand that
+// submission behind a queue nobody services. Its parked workers cost a
+// few KB of stack each, and resizes are rare — correctness over a
+// micro-leak. With a single processor the pool is never consulted:
+// parallel dispatch short-circuits to the inline path.
 func sharedPool() *kernelPool {
-	sharedKernelPoolOnce.Do(func() {
-		sharedKernelPool = newKernelPool(runtime.GOMAXPROCS(0))
-	})
-	return sharedKernelPool
+	n := runtime.GOMAXPROCS(0)
+	if p := sharedKernel.pool.Load(); p != nil && p.workers == n {
+		return p
+	}
+	sharedKernel.mu.Lock()
+	defer sharedKernel.mu.Unlock()
+	p := sharedKernel.pool.Load()
+	if p == nil || p.workers != n {
+		p = newKernelPool(n)
+		sharedKernel.pool.Store(p)
+	}
+	return p
+}
+
+// KernelPoolWorkers reports the worker count of the shared kernel pool
+// the next dispatch will use. It follows GOMAXPROCS: calling it after a
+// GOMAXPROCS change reflects (and triggers) the resize.
+func KernelPoolWorkers() int { return sharedPool().workers }
+
+// parallelGrain is the number of multiply-add (or equivalent fused)
+// operations one worker should own before fanning out to another: below
+// it, dispatch overhead costs more than the parallelism saves. The
+// historical static threshold ran kernels serially below 2·parallelGrain
+// multiply-adds; WorkersFor preserves that cutoff exactly and scales
+// workers with the work above it.
+const parallelGrain = 1 << 17
+
+// WorkersFor returns the budget-aware worker count for a kernel of work
+// multiply-adds under a budget of workers cores: one worker per
+// parallelGrain of work, at least 1, at most the budget. budget <= 0
+// means the shared pool's width (GOMAXPROCS). This is the single
+// dispatch policy behind every budgeted kernel and layer loop, so the
+// serial/parallel decision is consistent across the code base.
+func WorkersFor(work, budget int) int {
+	if budget <= 0 {
+		budget = sharedPool().workers
+	}
+	w := work / parallelGrain
+	if w < 1 {
+		return 1
+	}
+	if w > budget {
+		return budget
+	}
+	return w
 }

@@ -214,7 +214,7 @@ func TestKernelPoolMatchesSerial(t *testing.T) {
 			for rep := 0; rep < 10; rep++ {
 				for _, tc := range cases {
 					out := New(tc.want.Rows, tc.want.Cols)
-					pool.run(tc.n, tc.op, tc.a, tc.b, out)
+					pool.run(tc.n, tc.op, tc.a, tc.b, out, 0)
 					for i := range out.Data {
 						if math.Float64bits(out.Data[i]) != math.Float64bits(tc.want.Data[i]) {
 							t.Errorf("pooled op %d element %d = %v want %v", tc.op, i, out.Data[i], tc.want.Data[i])

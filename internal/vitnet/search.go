@@ -7,6 +7,7 @@ import (
 	"h2onas/internal/datapipe"
 	"h2onas/internal/nn"
 	"h2onas/internal/reward"
+	"h2onas/internal/sched"
 	"h2onas/internal/space"
 	"h2onas/internal/tensor"
 )
@@ -52,9 +53,18 @@ func (s *Searcher) Search(cfg core.Config) (*Result, error) {
 	for i := range replicas {
 		replicas[i] = master.Replicate(rng.Split())
 	}
+	// Same core-budget partition as core.Searcher: replicas get a
+	// per-shard share, the master (final eval) and the spine get the full
+	// budget. Performance-only — any split is bit-identical.
+	budget := sched.New(cfg.Workers, cfg.Shards)
+	master.SetWorkers(budget.Total())
+	for i := range replicas {
+		replicas[i].SetWorkers(budget.PerShard())
+	}
 	strat := core.StrategyFor(&cfg, s.VS.Space)
 	opt := nn.NewAdam(cfg.WeightLR)
 	spine := nn.NewSpine(master.Params(), opt, 10)
+	spine.SetWorkers(budget.Total())
 	sm := core.NewSearchMetrics(cfg.Metrics)
 
 	res := &Result{}

@@ -168,6 +168,25 @@ func (s *Supernet) SetArena(a *tensor.Arena) {
 	s.head.Arena = a
 }
 
+// SetWorkers threads an intra-pass parallelism bound through every layer
+// slot, mirroring SetArena. The bound is one shard's share of the
+// search's core budget (sched.Budget); 0 or 1 — the default — keeps the
+// historical serial layer loops, and any setting is bit-identical.
+func (s *Supernet) SetWorkers(n int) {
+	s.tokens.Workers = n
+	for _, blk := range s.blocks {
+		for _, slot := range blk.layers {
+			slot.attn.SetWorkers(n)
+			slot.ffnUp.Workers = n
+			slot.ffnDown.Workers = n
+		}
+	}
+	for _, tr := range s.trans {
+		tr.Workers = n
+	}
+	s.head.Workers = n
+}
+
 // Replicate returns a view sharing parameter values with s but with
 // independent gradients and forward caches — one per accelerator shard.
 func (s *Supernet) Replicate(rng *tensor.RNG) *Supernet {
